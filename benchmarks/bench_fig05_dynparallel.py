@@ -1,0 +1,31 @@
+"""Fig. 5: dynamic parallelism (escape time vs Mariani-Silver).
+
+Paper (RTX 3080): Mariani-Silver loses at 2000^2 (launch overhead
+outweighs the saved work) and wins 3.26x at 16000^2.  The simulated
+sweep is scaled to 128..1024 pixels; the crossover reproduces at
+proportionally smaller sizes (0.3x at 128 -> ~1.3x at 1024, and ~2.2x
+at 2048 if you extend the sweep — see EXPERIMENTS.md).
+"""
+
+from benchmarks.common import emit, one_shot
+from repro.core.dynparallel import DynParallel
+
+SIZES = [128, 256, 512, 1024]
+
+
+def test_fig05_dynparallel(benchmark):
+    bench = DynParallel()
+    sweep = bench.sweep(SIZES)
+    speedups = sweep.speedups("escape time", "Mariani-Silver")
+    emit(
+        "fig05_dynparallel",
+        sweep.render(),
+        f"speedup per size: {[f'{s:.2f}x' for s in speedups]}",
+        "paper: <1x at 2000^2, 3.26x at 16000^2 - same crossover shape "
+        "at simulation scale",
+    )
+    # the paper's shape: losing small, winning large
+    assert speedups[0] < 1.0
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 1.0
+    one_shot(benchmark, lambda: DynParallel().run(size=256, max_dwell=64))

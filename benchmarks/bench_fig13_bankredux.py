@@ -1,0 +1,31 @@
+"""Fig. 13: reduction with and without shared-memory bank conflicts.
+
+Paper (V100): the sequential-addressing kernel is ~1.3x faster, with
+the advantage growing with array size.  The simulated interleaved
+kernel pays exactly the 2-, 4-, ..., 32-way serialized passes of
+paper Fig. 12.
+"""
+
+from benchmarks.common import emit, one_shot
+from repro.core.bankredux import BankRedux
+
+SIZES = [1 << k for k in range(16, 22)]
+
+
+def test_fig13_bankredux(benchmark):
+    bench = BankRedux()
+    sweep = bench.sweep(SIZES)
+    res = bench.run(n=1 << 21)
+    speedups = sweep.speedups("with conflicts", "without conflicts")
+    emit(
+        "fig13_bankredux",
+        sweep.render(),
+        f"conflict-free speedup per size: {[f'{s:.2f}x' for s in speedups]}",
+        f"shared efficiency: interleaved "
+        f"{res.metrics['bc_shared_efficiency']:.0%} vs sequential "
+        f"{res.metrics['seq_shared_efficiency']:.0%}",
+        f"headline: {res.speedup:.2f}x (paper: ~1.3x average)",
+    )
+    assert res.verified
+    assert all(s > 1.0 for s in speedups)
+    one_shot(benchmark, lambda: BankRedux().run(n=1 << 18))

@@ -1,0 +1,38 @@
+"""Fig. 17: SpMV offload in dense vs CSR layout as sparsity grows.
+
+Paper (V100, 10240^2): the CSR advantage grows as nnz falls, reaching
+190x at the sparsest point — the dense offload is dominated by shipping
+400 MB of zeros.  The simulated matrix is 1024^2 (the dense kernel is
+interpreted), where the same transfer arithmetic tops out around
+20-30x; the dense transfer volume scales as n^2 while CSR scales as
+nnz, so the paper's 190x is the same curve evaluated at 10240.
+"""
+
+from benchmarks.common import emit, one_shot
+from repro.core.minitransfer import MiniTransfer
+
+N = 1024
+NNZS = [N * 64, N * 16, N * 4, N, N // 4]
+
+
+def test_fig17_minitransfer(benchmark):
+    bench = MiniTransfer()
+    sweep = bench.sweep(NNZS, n=N)
+    res = bench.run(n=N, nnz=N // 4)
+    speedups = sweep.speedups("dense", "CSR")
+    emit(
+        "fig17_minitransfer",
+        sweep.render(),
+        f"CSR speedup per nnz: {[f'{s:.1f}x' for s in speedups]}",
+        f"transfer bytes at sparsest point: dense "
+        f"{res.metrics['dense_transfer_bytes'] / 2**20:.1f} MiB vs CSR "
+        f"{res.metrics['csr_transfer_bytes'] / 2**10:.1f} KiB",
+        f"headline: {res.speedup:.1f}x at n={N} "
+        "(paper: 190x best at n=10240 — same transfer arithmetic)",
+    )
+    assert res.verified
+    # the paper's shape: sparser -> bigger CSR advantage (tolerate
+    # sub-percent kernel-time jitter between near-flat points)
+    assert all(b >= a * 0.98 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > 10.0
+    one_shot(benchmark, lambda: MiniTransfer().run(n=256, nnz=1024))

@@ -1,0 +1,36 @@
+"""Shared helpers for the figure/table regeneration harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it
+runs the corresponding microbenchmark sweep, prints the same rows or
+series the paper reports (visible with ``pytest -s`` and persisted
+under ``benchmarks/results/``), and registers a representative run with
+pytest-benchmark so ``pytest benchmarks/ --benchmark-only`` also tracks
+the harness's own wall-clock cost.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = ["emit", "RESULTS_DIR", "one_shot"]
+
+
+def emit(tag: str, *blocks: str) -> str:
+    """Print and persist a figure/table reproduction block."""
+    text = "\n\n".join(str(b).rstrip() for b in blocks if str(b).strip())
+    banner = f"\n{'=' * 74}\n{tag}\n{'=' * 74}\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{tag}.txt").write_text(text + "\n")
+    return text
+
+
+def one_shot(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark for a single timed round.
+
+    The simulations are deterministic, so repeated rounds only measure
+    interpreter noise; one round keeps the harness fast.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

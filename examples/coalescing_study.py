@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Coalescing study: how loop distribution shapes memory transactions.
+
+Reproduces the reasoning of paper §IV-B interactively: the same AXPY is
+run with one-per-thread, block-distributed, and cyclic-distributed
+loops, plus an aligned/misaligned pair, and the per-warp transaction
+counts, DRAM traffic, and simulated times are tabulated side by side.
+
+Run:  python examples/coalescing_study.py
+"""
+
+import numpy as np
+
+from repro import CARINA, CudaLite, estimate_kernel_time
+from repro.common.tables import render_table
+from repro.kernels import (
+    axpy_1per_thread,
+    axpy_aligned,
+    axpy_block,
+    axpy_cyclic,
+    axpy_misaligned,
+)
+
+
+def main() -> None:
+    rt = CudaLite(CARINA)
+    n = 1 << 22
+    rng = np.random.default_rng(7)
+    hx = rng.random(n, dtype=np.float32)
+    hy = rng.random(n, dtype=np.float32)
+    x = rt.to_device(hx)
+
+    rows = []
+    cases = [
+        ("1-per-thread", axpy_1per_thread, (n + 255) // 256, 0),
+        ("block dist <<<1024,256>>>", axpy_block, 1024, 0),
+        ("cyclic dist <<<1024,256>>>", axpy_cyclic, 1024, 0),
+        ("aligned", axpy_aligned, (n + 255) // 256, 0),
+        ("misaligned", axpy_misaligned, (n + 255) // 256, 4),
+    ]
+    for name, kdef, grid, offset in cases:
+        xv = rt.to_device(hx, offset=offset) if offset else x
+        y = rt.to_device(hy, offset=offset)
+        stats = rt.launch(kdef, grid, 256, xv, y, n, 2.0)
+        timing = estimate_kernel_time(stats, rt.gpu)
+        rows.append(
+            [
+                name,
+                f"{stats.transactions / stats.global_requests:.2f}",
+                f"{stats.gld_efficiency:.0%}",
+                f"{timing.traffic.dram_bytes / 2**20:.1f}",
+                timing.limiter,
+                f"{timing.exec_s * 1e6:.1f}",
+            ]
+        )
+    rt.synchronize()
+    print(
+        render_table(
+            ["kernel", "txn/request", "load eff", "DRAM MiB", "bound", "time (us)"],
+            rows,
+            title=f"AXPY coalescing study, n={n:,} on {rt.gpu.name}",
+        )
+    )
+    print(
+        "\nThe block distribution touches one 128B segment per lane per "
+        "request\n(32 transactions/warp) and wastes most of each DRAM "
+        "sector; the cyclic\ndistribution is the fix (paper Fig. 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

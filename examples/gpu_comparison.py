@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Cross-architecture study: the same kernels on V100, K80, RTX 3080.
+
+The paper's motivation for a *microbenchmark* suite is that optimization
+advice is architecture-dependent (its Fig. 15 is the canonical case).
+This example runs three representative kernels on every preset GPU and
+tabulates the simulated times and the relevant ratios, showing e.g.
+that texture placement matters enormously on Kepler and not at all on
+Volta.
+
+Run:  python examples/gpu_comparison.py
+"""
+
+import numpy as np
+
+from repro import CudaLite, estimate_kernel_time, get_system
+from repro.arch import A100, PCIE4_X16, SystemSpec
+from repro.common.tables import render_table
+from repro.kernels import (
+    axpy_block,
+    axpy_cyclic,
+    matadd_global,
+    matadd_tex2d,
+    reduce_interleaved_bc,
+    reduce_sequential,
+)
+
+SYSTEMS = [
+    get_system("carina"),
+    get_system("fornax"),
+    get_system("rtx3080"),
+    SystemSpec(name="A100 box", gpu=A100, link=PCIE4_X16),
+]
+
+
+def comem_ratio(system, n=1 << 20):
+    rt = CudaLite(system)
+    rng = np.random.default_rng(0)
+    x = rt.to_device(rng.random(n, dtype=np.float32))
+    y = rt.to_device(rng.random(n, dtype=np.float32))
+    sb = rt.launch(axpy_block, 1024, 256, x, y, n, 2.0)
+    sc = rt.launch(axpy_cyclic, 1024, 256, x, y, n, 2.0)
+    rt.synchronize()
+    g = system.gpu
+    return (
+        estimate_kernel_time(sb, g).exec_s / estimate_kernel_time(sc, g).exec_s
+    )
+
+
+def texture_ratio(system, n=512):
+    rt = CudaLite(system)
+    rng = np.random.default_rng(1)
+    ha = rng.random((n, n), dtype=np.float32)
+    hb = rng.random((n, n), dtype=np.float32)
+    a = rt.to_device(ha.ravel())
+    b = rt.to_device(hb.ravel())
+    c = rt.malloc(n * n)
+    grid = (n // 16, n // 16)
+    sg = rt.launch(matadd_global, grid, (16, 16), a, b, c, n)
+    ta, tb = rt.texture_2d(ha), rt.texture_2d(hb)
+    st = rt.launch(matadd_tex2d, grid, (16, 16), ta, tb, c, n)
+    rt.synchronize()
+    g = system.gpu
+    return estimate_kernel_time(sg, g).exec_s / estimate_kernel_time(st, g).exec_s
+
+
+def bank_ratio(system, n=1 << 18):
+    rt = CudaLite(system)
+    x = rt.to_device(np.random.default_rng(2).random(n, dtype=np.float32))
+    r = rt.malloc(n // 256)
+    sb = rt.launch(reduce_interleaved_bc, n // 256, 256, x, r)
+    ss = rt.launch(reduce_sequential, n // 256, 256, x, r)
+    rt.synchronize()
+    g = system.gpu
+    return estimate_kernel_time(sb, g).exec_s / estimate_kernel_time(ss, g).exec_s
+
+
+def main() -> None:
+    rows = []
+    for system in SYSTEMS:
+        rows.append(
+            [
+                system.gpu.name,
+                f"{comem_ratio(system):.1f}x",
+                f"{texture_ratio(system):.2f}x",
+                f"{bank_ratio(system):.2f}x",
+            ]
+        )
+    print(
+        render_table(
+            ["GPU", "coalescing win", "texture win", "bank-conflict win"],
+            rows,
+            title="Optimization impact by architecture (simulated)",
+        )
+    )
+    print(
+        "\nTexture placement pays only where global loads bypass the L1 "
+        "(Kepler);\ncoalescing and bank conflicts matter everywhere — the "
+        "paper's point that\nperformance advice must be re-validated per "
+        "architecture."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Adaptive Mandelbrot rendering with dynamic parallelism.
+
+Renders the same image with the escape-time algorithm (every pixel) and
+the Mariani-Silver algorithm (border-probing + recursive subdivision
+via device-side launches), prints the work statistics, an ASCII
+rendering of the dwell image, and the speedup — the paper's Fig. 5
+experiment at laptop scale.
+
+Run:  python examples/mandelbrot_adaptive.py [size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CudaLite, RTX3080_SYSTEM
+from repro.core.dynparallel import MandelView, mariani_silver
+from repro.kernels import mandel_escape
+
+
+def ascii_render(img: np.ndarray, width: int = 72) -> str:
+    """Downsample the dwell image to characters by escape speed."""
+    h, w = img.shape
+    step = max(w // width, 1)
+    small = img[:: 2 * step, ::step]
+    ramp = " .:-=+*#%@"
+    lo, hi = small.min(), small.max()
+    scaled = ((small - lo) / max(hi - lo, 1) * (len(ramp) - 1)).astype(int)
+    return "\n".join("".join(ramp[v] for v in row) for row in scaled)
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    max_dwell = 512
+    view = MandelView()
+    w = h = size
+    dx, dy = view.steps(w, h)
+
+    rt1 = CudaLite(RTX3080_SYSTEM)
+    out1 = rt1.malloc(w * h, np.int64)
+    with rt1.timer() as t_escape:
+        rt1.launch(
+            mandel_escape,
+            ((w + 15) // 16, (h + 15) // 16),
+            (16, 16),
+            out1, w, h, view.x0, view.y0, dx, dy, max_dwell,
+        )
+    img = out1.to_host().reshape(h, w)
+
+    rt2 = CudaLite(RTX3080_SYSTEM)
+    out2 = rt2.malloc(w * h, np.int64)
+    with rt2.timer() as t_ms:
+        info = mariani_silver(rt2, out2, w, h, view=view, max_dwell=max_dwell)
+    img_ms = out2.to_host().reshape(h, w)
+
+    print(ascii_render(img))
+    print(f"\nimage {size}x{size}, max dwell {max_dwell}")
+    print(f"escape time     : {t_escape.elapsed * 1e3:.2f} ms (all {w * h:,} pixels)")
+    print(
+        f"Mariani-Silver  : {t_ms.elapsed * 1e3:.2f} ms "
+        f"({info['pixels_computed']:,.0f} pixels computed, "
+        f"{info['pixels_filled']:,.0f} filled, "
+        f"{info['device_launches']:.0f} device launches)"
+    )
+    print(f"speedup         : {t_escape.elapsed / t_ms.elapsed:.2f}x "
+          f"(grows with image size; paper reports 3.26x at 16000^2)")
+    print(f"images identical: {(img == img_ms).mean():.2%} of pixels")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The performance doctor: automatic detection of the paper's patterns.
+
+Launches deliberately-flawed kernels (each exhibiting one CUDAMicroBench
+inefficiency) and lets ``repro.host.diagnose`` name the problem and the
+microbenchmark demonstrating the fix — the "guide users for performance
+optimization" purpose of the paper, automated.
+
+Run:  python examples/performance_doctor.py
+"""
+
+import numpy as np
+
+from repro import CARINA, CudaLite
+from repro.core.warpdiv import wd_kernel
+from repro.host import diagnose
+from repro.kernels import (
+    axpy_block,
+    axpy_cyclic,
+    axpy_misaligned,
+    reduce_interleaved_bc,
+)
+
+
+def main() -> None:
+    rt = CudaLite(CARINA)
+    n = 1 << 18
+    rng = np.random.default_rng(5)
+    hx = rng.random(n, dtype=np.float32)
+    hy = rng.random(n, dtype=np.float32)
+    x, y, z = rt.to_device(hx), rt.to_device(hy), rt.malloc(n)
+    xm = rt.to_device(hx, offset=4)
+    ym = rt.to_device(hy, offset=4)
+    r = rt.malloc(n // 256)
+
+    cases = [
+        ("block-distributed AXPY", rt.launch(axpy_block, 64, 256, x, y, n, 2.0)),
+        ("misaligned AXPY", rt.launch(axpy_misaligned, n // 256, 256, xm, ym, n, 2.0)),
+        ("parity-branching kernel", rt.launch(wd_kernel, n // 256, 256, x, y, z)),
+        ("interleaved reduction", rt.launch(reduce_interleaved_bc, n // 256, 256, x, r)),
+        ("clean cyclic AXPY", rt.launch(axpy_cyclic, 1024, 256, x, y, n, 2.0)),
+    ]
+    rt.synchronize()
+
+    for label, stats in cases:
+        findings = diagnose(stats, rt.gpu)
+        print(f"\n--- {label} ({stats.name}) ---")
+        if not findings:
+            print("  no inefficiency patterns detected")
+        for f in findings:
+            print(f"  {f}")
+
+    print("\nfull profile with doctor annotations:\n")
+    print(rt.profile_report(diagnose=True))
+
+
+if __name__ == "__main__":
+    main()

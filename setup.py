@@ -1,0 +1,4 @@
+"""Setup shim for environments without the wheel package (PEP 517 fallback)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""CUDAMicroBench reproduction.
+
+A SIMT GPU performance simulator in pure Python/NumPy plus the fourteen
+CUDA performance microbenchmarks of
+
+    Yi, Yan, Stokes, Liao — "CUDAMicroBench: Microbenchmarks to Assist
+    CUDA Performance Programming", IPDPS Workshops 2021.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CudaLite, kernel, CARINA
+
+    rt = CudaLite(CARINA)                       # a V100 system
+
+    @kernel
+    def axpy(ctx, x, y, n, a):
+        i = ctx.global_thread_id()
+        ctx.if_active(i < n,
+                      lambda: ctx.store(y, i, a * ctx.load(x, i) + ctx.load(y, i)))
+
+    n = 1 << 20
+    x = rt.to_device(np.random.rand(n).astype(np.float32))
+    y = rt.to_device(np.ones(n, dtype=np.float32))
+    with rt.timer() as t:
+        rt.launch(axpy, (n + 255) // 256, 256, x, y, n, 2.0)
+    print(f"simulated kernel time: {t.elapsed * 1e6:.1f} us")
+    print(rt.profile_report())
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-simulated results of every table and figure.
+"""
+
+from repro.arch import (
+    A100,
+    CARINA,
+    FORNAX,
+    RTX3080_SYSTEM,
+    RTX_3080,
+    TESLA_K80,
+    TESLA_V100,
+    GPUSpec,
+    LinkSpec,
+    SystemSpec,
+    get_gpu,
+    get_system,
+)
+from repro.core import (
+    ALL_BENCHMARKS,
+    BenchResult,
+    Microbenchmark,
+    SweepResult,
+    get_benchmark,
+    list_benchmarks,
+    run_suite,
+    table1,
+)
+from repro.host import CudaLite, Event, Stream, Timeline
+from repro.mem import DeviceArray
+from repro.simt import Dim3, KernelDef, KernelStats, TextureView, kernel, run_kernel
+from repro.timing import KernelTiming, Occupancy, compute_occupancy, estimate_kernel_time
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "CARINA",
+    "FORNAX",
+    "RTX3080_SYSTEM",
+    "RTX_3080",
+    "TESLA_K80",
+    "TESLA_V100",
+    "GPUSpec",
+    "LinkSpec",
+    "SystemSpec",
+    "get_gpu",
+    "get_system",
+    "ALL_BENCHMARKS",
+    "BenchResult",
+    "Microbenchmark",
+    "SweepResult",
+    "get_benchmark",
+    "list_benchmarks",
+    "run_suite",
+    "table1",
+    "CudaLite",
+    "Event",
+    "Stream",
+    "Timeline",
+    "DeviceArray",
+    "Dim3",
+    "KernelDef",
+    "KernelStats",
+    "TextureView",
+    "kernel",
+    "run_kernel",
+    "KernelTiming",
+    "Occupancy",
+    "compute_occupancy",
+    "estimate_kernel_time",
+    "__version__",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface: run microbenchmarks and regenerate figures.
+
+Usage examples::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro run CoMem --system carina -p n=4194304
+    python -m repro sweep CoMem --values 262144,1048576,4194304
+    python -m repro specs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.arch.presets import get_system, list_gpus
+from repro.common.errors import ReproError
+from repro.common.tables import render_table
+from repro.core.registry import ALL_BENCHMARKS, get_benchmark, list_benchmarks
+from repro.core.suite import run_suite
+
+
+def _parse_params(pairs: list[str]) -> dict[str, Any]:
+    """Parse ``-p key=value`` pairs, int/float-coercing values."""
+    out: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad parameter {pair!r}; expected key=value")
+        key, raw = pair.split("=", 1)
+        value: Any
+        try:
+            value = int(raw, 0)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        out[key] = value
+    return out
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        [cls.name, cls.category, cls.paper_speedup, cls.default_system.gpu.name]
+        for cls in ALL_BENCHMARKS
+    ]
+    print(
+        render_table(
+            ["benchmark", "guideline", "paper speedup", "default GPU"],
+            rows,
+            title="CUDAMicroBench microbenchmarks",
+        )
+    )
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    report = run_suite()
+    print(report.render())
+    return 0 if report.all_verified else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    system = get_system(args.system) if args.system else None
+    bench = get_benchmark(args.benchmark, system)
+    result = bench.run(**_parse_params(args.param))
+    print(result)
+    if result.metrics:
+        print("metrics:")
+        for k, v in result.metrics.items():
+            print(f"  {k}: {v:.6g}")
+    if result.notes:
+        print(result.notes)
+    return 0 if result.verified else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    system = get_system(args.system) if args.system else None
+    bench = get_benchmark(args.benchmark, system)
+    values = (
+        [int(v, 0) for v in args.values.split(",")] if args.values else None
+    )
+    sweep = bench.sweep(values, **_parse_params(args.param))
+    print(sweep.render())
+    return 0
+
+
+def cmd_specs(_args: argparse.Namespace) -> int:
+    from repro.arch.presets import get_gpu
+
+    rows = []
+    for name in list_gpus():
+        g = get_gpu(name)
+        rows.append(
+            [
+                g.name,
+                f"{g.compute_capability[0]}.{g.compute_capability[1]}",
+                g.sm_count,
+                f"{g.clock_hz / 1e9:.2f}",
+                f"{g.dram_bandwidth / 1e9:.0f}",
+                f"{g.l2_size // 1024 // 1024} MiB",
+                "yes" if g.global_loads_cached_in_l1 else "no",
+            ]
+        )
+    print(
+        render_table(
+            ["GPU", "CC", "SMs", "GHz", "GB/s", "L2", "L1 for loads"],
+            rows,
+            title="preset architectures",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CUDAMicroBench reproduction: simulated GPU microbenchmarks",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the fourteen microbenchmarks").set_defaults(
+        fn=cmd_list
+    )
+    sub.add_parser(
+        "table1", help="run the full suite and print Table I"
+    ).set_defaults(fn=cmd_table1)
+    sub.add_parser("specs", help="show the preset GPU architectures").set_defaults(
+        fn=cmd_specs
+    )
+
+    run_p = sub.add_parser("run", help="run one microbenchmark")
+    run_p.add_argument("benchmark", help="Table I name, e.g. CoMem")
+    run_p.add_argument("--system", help="carina | fornax | rtx3080")
+    run_p.add_argument(
+        "-p", "--param", action="append", default=[], help="key=value run parameter"
+    )
+    run_p.set_defaults(fn=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="regenerate a benchmark's figure sweep")
+    sweep_p.add_argument("benchmark")
+    sweep_p.add_argument("--system", help="carina | fornax | rtx3080")
+    sweep_p.add_argument("--values", help="comma-separated sweep values")
+    sweep_p.add_argument(
+        "-p", "--param", action="append", default=[], help="key=value run parameter"
+    )
+    sweep_p.set_defaults(fn=cmd_sweep)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Simulated GPU / system architecture specifications."""
+
+from repro.arch.presets import (
+    A100,
+    CARINA,
+    FORNAX,
+    PCIE3_X16,
+    PCIE4_X16,
+    RTX3080_SYSTEM,
+    RTX_3080,
+    TESLA_K80,
+    TESLA_V100,
+    get_gpu,
+    get_system,
+    list_gpus,
+)
+from repro.arch.spec import DEFAULT_OP_THROUGHPUT, GPUSpec, LinkSpec, SystemSpec
+
+__all__ = [
+    "A100",
+    "CARINA",
+    "FORNAX",
+    "PCIE3_X16",
+    "PCIE4_X16",
+    "RTX3080_SYSTEM",
+    "RTX_3080",
+    "TESLA_K80",
+    "TESLA_V100",
+    "get_gpu",
+    "get_system",
+    "list_gpus",
+    "DEFAULT_OP_THROUGHPUT",
+    "GPUSpec",
+    "LinkSpec",
+    "SystemSpec",
+]

@@ -1,0 +1,218 @@
+"""Preset architecture specifications.
+
+The three GPUs the paper evaluates on — Tesla V100 ("Carina"), Tesla K80
+("Fornax") and GeForce RTX 3080 — plus an A100 preset for headroom
+studies.  Geometry and bandwidth figures come from NVIDIA datasheets and
+the CUDA C Programming Guide occupancy tables; latency figures and launch
+overheads are calibrations in the range reported by published
+microbenchmarking studies (Jia et al., "Dissecting the NVIDIA
+Volta/Turing GPU architecture", and the original CUDA SDK timings) and
+are marked below.
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import DEFAULT_OP_THROUGHPUT, GPUSpec, LinkSpec, SystemSpec
+from repro.common.errors import SpecError
+
+__all__ = [
+    "TESLA_V100",
+    "TESLA_K80",
+    "RTX_3080",
+    "A100",
+    "PCIE3_X16",
+    "PCIE4_X16",
+    "CARINA",
+    "FORNAX",
+    "RTX3080_SYSTEM",
+    "get_gpu",
+    "get_system",
+    "list_gpus",
+]
+
+# --------------------------------------------------------------------------
+# Tesla V100 (Volta, SM 7.0) — the paper's primary platform ("Carina").
+TESLA_V100 = GPUSpec(
+    name="Tesla V100",
+    compute_capability=(7, 0),
+    sm_count=80,
+    clock_hz=1.38e9,
+    schedulers_per_sm=4,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=96 * 1024,
+    shared_mem_per_block=48 * 1024,
+    l1_size=128 * 1024,          # unified L1/tex/shared 128 KiB
+    l2_size=6 * 1024 * 1024,
+    dram_size=16 * 1024 ** 3,
+    dram_bandwidth=900e9,
+    l2_bandwidth=2500e9,          # calibration: ~2.7x DRAM (Jia et al.)
+    dram_latency_cycles=450,      # calibration
+    l2_latency_cycles=200,        # calibration
+    global_loads_cached_in_l1=True,
+    texture_cache_dedicated=False,
+    copy_engines=2,
+    supports_memcpy_async=False,  # cp.async is Ampere+
+    op_throughput={**DEFAULT_OP_THROUGHPUT, "fp32": 64.0, "fp64": 32.0},
+)
+
+# --------------------------------------------------------------------------
+# Tesla K80 (Kepler GK210, SM 3.7) — one logical GPU of the dual-die board
+# ("Fornax").  The key behavioural differences from Volta:
+#   * ordinary global loads are NOT cached in L1 (L1 serves local memory
+#     only); the read-only/texture path has its own 48 KiB cache, so
+#     read-only data placement matters a lot (paper Fig. 15);
+#   * fewer resident blocks, smaller L2, far lower DRAM bandwidth.
+TESLA_K80 = GPUSpec(
+    name="Tesla K80",
+    compute_capability=(3, 7),
+    sm_count=13,
+    clock_hz=0.875e9,
+    schedulers_per_sm=4,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    registers_per_sm=131072,      # GK210 doubled register file
+    shared_mem_per_sm=112 * 1024,
+    shared_mem_per_block=48 * 1024,
+    l1_size=16 * 1024,
+    l2_size=1536 * 1024,
+    texture_cache_size=48 * 1024,
+    dram_size=12 * 1024 ** 3,
+    dram_bandwidth=240e9,
+    l2_bandwidth=600e9,           # calibration
+    dram_latency_cycles=600,      # calibration: Kepler DRAM latency higher
+    l2_latency_cycles=220,        # calibration
+    global_loads_cached_in_l1=False,
+    uncached_path_efficiency=0.25,  # calibration to paper Fig. 15 (~4x)
+    texture_cache_dedicated=True,
+    copy_engines=2,
+    kernel_launch_overhead_s=8e-6,
+    supports_memcpy_async=False,
+    supports_task_graphs=False,   # CUDA graphs require newer driver paths
+    op_throughput={
+        **DEFAULT_OP_THROUGHPUT,
+        "fp32": 192.0,            # Kepler SMX: 192 FP32 lanes
+        "fp64": 64.0,             # GK210
+        "int": 160.0,
+        "shfl": 32.0,
+        "ldst_issue": 32.0,
+    },
+)
+
+# --------------------------------------------------------------------------
+# GeForce RTX 3080 (Ampere GA102, SM 8.6) — used for DynParallel (Fig. 5)
+# and the memcpy_async experiment (§IV-D).
+RTX_3080 = GPUSpec(
+    name="RTX 3080",
+    compute_capability=(8, 6),
+    sm_count=68,
+    clock_hz=1.71e9,
+    schedulers_per_sm=4,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=16,
+    shared_mem_per_sm=100 * 1024,
+    shared_mem_per_block=48 * 1024,
+    l1_size=128 * 1024,
+    l2_size=5 * 1024 * 1024,
+    dram_size=10 * 1024 ** 3,
+    dram_bandwidth=760e9,
+    l2_bandwidth=2000e9,          # calibration
+    dram_latency_cycles=470,      # calibration
+    l2_latency_cycles=210,        # calibration
+    global_loads_cached_in_l1=True,
+    texture_cache_dedicated=False,
+    copy_engines=2,
+    supports_memcpy_async=True,   # Ampere cp.async
+    device_launch_overhead_s=2.0e-6,
+    op_throughput={
+        **DEFAULT_OP_THROUGHPUT,
+        "fp32": 128.0,            # Ampere doubled FP32
+        "fp64": 2.0,
+        "int": 64.0,
+    },
+)
+
+# --------------------------------------------------------------------------
+# A100 (Ampere GA100, SM 8.0) — not in the paper's evaluation but described
+# in its Section II; included for forward-looking studies.
+A100 = GPUSpec(
+    name="A100",
+    compute_capability=(8, 0),
+    sm_count=108,
+    clock_hz=1.41e9,
+    schedulers_per_sm=4,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=164 * 1024,
+    shared_mem_per_block=48 * 1024,
+    l1_size=192 * 1024,
+    l2_size=40 * 1024 * 1024,
+    dram_size=40 * 1024 ** 3,
+    dram_bandwidth=1555e9,
+    l2_bandwidth=4000e9,          # calibration
+    dram_latency_cycles=480,      # calibration
+    l2_latency_cycles=200,        # calibration
+    global_loads_cached_in_l1=True,
+    texture_cache_dedicated=False,
+    copy_engines=2,
+    supports_memcpy_async=True,
+    op_throughput={**DEFAULT_OP_THROUGHPUT, "fp32": 64.0, "fp64": 32.0},
+)
+
+# --------------------------------------------------------------------------
+# Interconnects.  Effective (not theoretical) bandwidths: PCIe gen3 x16
+# sustains ~12 GB/s pinned, ~6 GB/s pageable through the staging copy.
+PCIE3_X16 = LinkSpec(
+    name="PCIe 3.0 x16",
+    pinned_bandwidth=12e9,
+    pageable_bandwidth=6e9,
+    latency_s=10e-6,
+)
+PCIE4_X16 = LinkSpec(
+    name="PCIe 4.0 x16",
+    pinned_bandwidth=24e9,
+    pageable_bandwidth=9e9,
+    latency_s=9e-6,
+)
+
+# The paper's two test systems plus the RTX 3080 box.
+CARINA = SystemSpec(name="Carina (Xeon 6230N + V100)", gpu=TESLA_V100, link=PCIE3_X16)
+FORNAX = SystemSpec(name="Fornax (Xeon E5-2699v3 + K80)", gpu=TESLA_K80, link=PCIE3_X16)
+RTX3080_SYSTEM = SystemSpec(name="RTX 3080 workstation", gpu=RTX_3080, link=PCIE4_X16)
+
+_GPUS = {
+    "v100": TESLA_V100,
+    "k80": TESLA_K80,
+    "rtx3080": RTX_3080,
+    "a100": A100,
+}
+_SYSTEMS = {
+    "carina": CARINA,
+    "fornax": FORNAX,
+    "rtx3080": RTX3080_SYSTEM,
+}
+
+
+def list_gpus() -> list[str]:
+    """Names accepted by :func:`get_gpu`."""
+    return sorted(_GPUS)
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a preset GPU by short name (``v100``, ``k80``, ...)."""
+    try:
+        return _GPUS[name.lower()]
+    except KeyError:
+        raise SpecError(
+            f"unknown GPU {name!r}; available: {', '.join(list_gpus())}"
+        ) from None
+
+
+def get_system(name: str) -> SystemSpec:
+    """Look up a preset system by short name (``carina``, ``fornax``, ...)."""
+    try:
+        return _SYSTEMS[name.lower()]
+    except KeyError:
+        raise SpecError(
+            f"unknown system {name!r}; available: {', '.join(sorted(_SYSTEMS))}"
+        ) from None

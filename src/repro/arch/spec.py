@@ -1,0 +1,228 @@
+"""Architecture specifications for simulated devices.
+
+A :class:`GPUSpec` captures everything the timing model and the memory
+hierarchy need to know about a GPU: geometry (SMs, schedulers, lane
+counts), the cache/shared-memory organisation, DRAM and interconnect
+bandwidths, feature flags (dynamic parallelism, ``memcpy_async``,
+Kepler's "global loads bypass L1" behaviour), and launch-overhead
+constants.  :class:`LinkSpec` models the host↔device interconnect and
+:class:`SystemSpec` ties a GPU and a link together into the machine a
+benchmark runs on.
+
+The numbers in :mod:`repro.arch.presets` come from public NVIDIA
+datasheets and programming-guide tables; where a value is a calibration
+rather than a datasheet figure it is commented as such at the preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.common.errors import SpecError
+
+__all__ = ["GPUSpec", "LinkSpec", "SystemSpec", "DEFAULT_OP_THROUGHPUT"]
+
+#: Default per-SM operation throughput table, in *lanes per cycle*.
+#: A warp-wide (32-lane) operation of class ``c`` occupies an SM for
+#: ``32 / throughput[c]`` cycles.  The values follow the Volta column of
+#: the CUDA C Programming Guide's arithmetic-throughput table; presets
+#: override individual entries where architectures differ.
+DEFAULT_OP_THROUGHPUT: dict[str, float] = {
+    "fp32": 64.0,     # FP32 FMA/add/mul lanes per SM per cycle
+    "fp64": 32.0,
+    "int": 64.0,
+    "mul24": 64.0,
+    "div": 8.0,       # slow ops: divide, sqrt, transcendental
+    "special": 16.0,  # SFU ops
+    "cmp": 64.0,
+    "shift": 64.0,
+    "cvt": 16.0,
+    "branch": 64.0,
+    "shfl": 32.0,     # one warp shuffle per scheduler per cycle
+    "ldst_issue": 16.0,  # LSU address-generation lanes
+}
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a simulated GPU.
+
+    All sizes are bytes, all rates bytes/second, all clocks hertz.
+    Instances are immutable; use :meth:`evolve` to derive variants.
+    """
+
+    name: str
+    compute_capability: tuple[int, int]
+
+    # --- geometry -------------------------------------------------------
+    sm_count: int
+    clock_hz: float
+    warp_size: int = 32
+    schedulers_per_sm: int = 4
+    max_threads_per_sm: int = 2048
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 32
+    registers_per_sm: int = 65536
+    max_registers_per_thread: int = 255
+    max_grid_dim: tuple[int, int, int] = (2147483647, 65535, 65535)
+    max_block_dim: tuple[int, int, int] = (1024, 1024, 64)
+
+    # --- on-chip memory -------------------------------------------------
+    shared_mem_per_sm: int = 96 * 1024
+    shared_mem_per_block: int = 48 * 1024
+    shared_banks: int = 32
+    shared_bank_bytes: int = 4
+    l1_size: int = 128 * 1024
+    l2_size: int = 6 * 1024 * 1024
+    constant_cache_size: int = 64 * 1024
+    texture_cache_size: int = 64 * 1024
+
+    # --- memory behaviour flags ----------------------------------------
+    #: Kepler-class GPUs do not cache ordinary global loads in L1; the
+    #: read-only/texture path is the only way to get on-SM caching.
+    global_loads_cached_in_l1: bool = True
+    #: Effective DRAM-bandwidth fraction achieved by loads that bypass
+    #: the on-SM cache (1.0 when loads are L1-cached).  Calibrated to
+    #: reproduce the read-only-memory gap the paper measures on Kepler
+    #: (Fig. 15): the L2-only path sustains far less of peak bandwidth.
+    uncached_path_efficiency: float = 1.0
+    #: Whether the texture unit has its own cache (Kepler) or shares the
+    #: L1 data cache (Volta and newer).
+    texture_cache_dedicated: bool = False
+    #: L1/transaction segment size and DRAM sector granularity.
+    transaction_bytes: int = 128
+    sector_bytes: int = 32
+
+    # --- off-chip memory ------------------------------------------------
+    dram_size: int = 16 * 1024 ** 3
+    dram_bandwidth: float = 900e9
+    l2_bandwidth: float = 2500e9
+    dram_latency_cycles: int = 450
+    l2_latency_cycles: int = 200
+    shared_latency_cycles: int = 25
+
+    # --- host interaction -----------------------------------------------
+    copy_engines: int = 2
+    kernel_launch_overhead_s: float = 6e-6
+    device_launch_overhead_s: float = 2.5e-6
+    graph_launch_overhead_s: float = 8e-6
+    graph_node_overhead_s: float = 0.6e-6
+    #: Unified-memory page-migration model: fault-group granularity and
+    #: the driver overhead charged per migrated page group.
+    um_page_bytes: int = 64 * 1024
+    um_fault_overhead_s: float = 20e-6
+
+    # --- feature flags ----------------------------------------------------
+    supports_dynamic_parallelism: bool = True
+    supports_concurrent_kernels: bool = True
+    supports_task_graphs: bool = True
+    supports_memcpy_async: bool = False
+    max_concurrent_kernels: int = 32
+
+    # --- instruction throughput ------------------------------------------
+    op_throughput: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_OP_THROUGHPUT)
+    )
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0:
+            raise SpecError(f"{self.name}: sm_count must be positive")
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise SpecError(f"{self.name}: warp_size must be a power of two")
+        if self.clock_hz <= 0:
+            raise SpecError(f"{self.name}: clock_hz must be positive")
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            raise SpecError(
+                f"{self.name}: block thread limit exceeds SM thread limit"
+            )
+        if self.shared_mem_per_block > self.shared_mem_per_sm:
+            raise SpecError(
+                f"{self.name}: per-block shared memory exceeds per-SM capacity"
+            )
+        if self.transaction_bytes % self.sector_bytes:
+            raise SpecError(
+                f"{self.name}: transaction size must be a multiple of sector size"
+            )
+        missing = set(DEFAULT_OP_THROUGHPUT) - set(self.op_throughput)
+        if missing:
+            raise SpecError(
+                f"{self.name}: op_throughput missing classes {sorted(missing)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def warps_per_sm(self) -> int:
+        """Maximum resident warps on one SM."""
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def total_thread_capacity(self) -> int:
+        """Threads resident device-wide at full occupancy."""
+        return self.sm_count * self.max_threads_per_sm
+
+    @property
+    def peak_fp32_flops(self) -> float:
+        """Peak FP32 FLOP/s counting each FMA lane as two FLOPs."""
+        return 2.0 * self.sm_count * self.op_throughput["fp32"] * self.clock_hz
+
+    @property
+    def sectors_per_transaction(self) -> int:
+        return self.transaction_bytes // self.sector_bytes
+
+    def op_cycles(self, op_class: str, width: int | None = None) -> float:
+        """SM-cycles one warp-wide operation of ``op_class`` occupies."""
+        try:
+            lanes = self.op_throughput[op_class]
+        except KeyError:
+            raise SpecError(f"unknown op class {op_class!r}") from None
+        w = self.warp_size if width is None else width
+        return w / lanes
+
+    def evolve(self, **changes: Any) -> "GPUSpec":
+        """Return a copy with ``changes`` applied (for what-if studies)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Host↔device interconnect (PCIe or NVLink) model.
+
+    ``latency_s`` is the fixed per-transfer setup cost (driver + DMA
+    programming); ``pinned_bandwidth`` applies to page-locked buffers and
+    async copies, ``pageable_bandwidth`` to ordinary host allocations
+    which require a staging copy.
+    """
+
+    name: str
+    pinned_bandwidth: float
+    pageable_bandwidth: float
+    latency_s: float = 10e-6
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pinned_bandwidth <= 0 or self.pageable_bandwidth <= 0:
+            raise SpecError(f"{self.name}: bandwidths must be positive")
+        if self.pageable_bandwidth > self.pinned_bandwidth:
+            raise SpecError(
+                f"{self.name}: pageable bandwidth cannot exceed pinned"
+            )
+
+    def transfer_time(self, nbytes: int, *, pinned: bool = True) -> float:
+        """Time to move ``nbytes`` across the link in one transfer."""
+        if nbytes < 0:
+            raise SpecError("negative transfer size")
+        bw = self.pinned_bandwidth if pinned else self.pageable_bandwidth
+        return self.latency_s + nbytes / bw
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A complete simulated machine: one GPU behind one link."""
+
+    name: str
+    gpu: GPUSpec
+    link: LinkSpec
+
+    def evolve(self, **changes: Any) -> "SystemSpec":
+        return replace(self, **changes)

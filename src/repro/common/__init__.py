@@ -1,0 +1,52 @@
+"""Shared utilities: errors, units, deterministic RNG, table rendering."""
+
+from repro.common.errors import (
+    AllocationError,
+    GraphError,
+    InvalidAddressError,
+    KernelRuntimeError,
+    LaunchConfigError,
+    MemoryError_,
+    ReproError,
+    SpecError,
+    StreamError,
+)
+from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng
+from repro.common.tables import render_series, render_table
+from repro.common.units import (
+    GHZ,
+    GIB,
+    KIB,
+    MIB,
+    fmt_bytes,
+    fmt_count,
+    fmt_rate,
+    fmt_time,
+    parse_size,
+)
+
+__all__ = [
+    "AllocationError",
+    "GraphError",
+    "InvalidAddressError",
+    "KernelRuntimeError",
+    "LaunchConfigError",
+    "MemoryError_",
+    "ReproError",
+    "SpecError",
+    "StreamError",
+    "DEFAULT_SEED",
+    "derive_seed",
+    "make_rng",
+    "render_series",
+    "render_table",
+    "GHZ",
+    "GIB",
+    "KIB",
+    "MIB",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_rate",
+    "fmt_time",
+    "parse_size",
+]

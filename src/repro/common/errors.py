@@ -1,0 +1,65 @@
+"""Exception hierarchy for the simulator.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch simulator problems without masking genuine Python bugs.
+The sub-classes mirror the CUDA error families a real runtime reports:
+configuration problems at launch time, invalid memory operations, and
+misuse of the stream/graph APIs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "LaunchConfigError",
+    "MemoryError_",
+    "AllocationError",
+    "InvalidAddressError",
+    "StreamError",
+    "GraphError",
+    "KernelRuntimeError",
+    "SpecError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SpecError(ReproError):
+    """An architecture specification is inconsistent or unknown."""
+
+
+class LaunchConfigError(ReproError):
+    """A kernel launch configuration is invalid.
+
+    Raised for zero/negative dimensions, block sizes over the device
+    limit, shared-memory requests over the per-block capacity, and
+    similar misconfigurations that a real CUDA runtime would reject with
+    ``cudaErrorInvalidConfiguration``.
+    """
+
+
+class MemoryError_(ReproError):
+    """Base class for device-memory errors (named to avoid shadowing
+    the builtin :class:`MemoryError`)."""
+
+
+class AllocationError(MemoryError_):
+    """Device memory allocation failed (arena exhausted, bad size)."""
+
+
+class InvalidAddressError(MemoryError_):
+    """A kernel or copy touched memory outside any live allocation."""
+
+
+class StreamError(ReproError):
+    """Misuse of streams or events (e.g. waiting on an unrecorded event)."""
+
+
+class GraphError(ReproError):
+    """Misuse of the task-graph API (capture violations, cycles)."""
+
+
+class KernelRuntimeError(ReproError):
+    """A kernel body raised or misused the device context."""

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports;
+this module renders them as aligned ASCII tables so the output is
+readable both on a terminal and inside ``pytest -s`` logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * max(len(title), len(sep)))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against a shared x axis.
+
+    This is the "figure" analogue of :func:`render_table`: each paper
+    figure becomes a table with the sweep variable in the first column
+    and one column per plotted line.
+    """
+    headers = [x_name, *series.keys()]
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(x_values)}"
+            )
+    rows = [
+        [x, *(series[name][i] for name in series)]
+        for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)

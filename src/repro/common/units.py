@@ -1,0 +1,109 @@
+"""Units, constants and human-readable formatting helpers.
+
+Simulated quantities flow through the code base in SI base units —
+seconds, bytes, hertz — and are only converted at the reporting edge.
+These helpers centralise the conversions so magic constants do not leak
+into the models.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "USEC",
+    "MSEC",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+    "fmt_count",
+    "parse_size",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KHZ = 1_000.0
+MHZ = 1_000_000.0
+GHZ = 1_000_000_000.0
+
+USEC = 1e-6
+MSEC = 1e-3
+
+_SIZE_SUFFIXES = [
+    ("TiB", GIB * 1024),
+    ("GiB", GIB),
+    ("MiB", MIB),
+    ("KiB", KIB),
+]
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``1.50 MiB``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for suffix, factor in _SIZE_SUFFIXES:
+        if n >= factor:
+            return f"{sign}{n / factor:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an appropriate submultiple, e.g. ``12.3 us``."""
+    s = float(seconds)
+    sign = "-" if s < 0 else ""
+    s = abs(s)
+    if s >= 1.0:
+        return f"{sign}{s:.3f} s"
+    if s >= 1e-3:
+        return f"{sign}{s * 1e3:.3f} ms"
+    if s >= 1e-6:
+        return f"{sign}{s * 1e6:.3f} us"
+    return f"{sign}{s * 1e9:.1f} ns"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Format a bandwidth, e.g. ``900.0 GB/s`` (decimal, as vendors do)."""
+    r = float(bytes_per_second)
+    if r >= 1e9:
+        return f"{r / 1e9:.1f} GB/s"
+    if r >= 1e6:
+        return f"{r / 1e6:.1f} MB/s"
+    if r >= 1e3:
+        return f"{r / 1e3:.1f} KB/s"
+    return f"{r:.1f} B/s"
+
+
+def fmt_count(n: float) -> str:
+    """Format a large count with thousands separators."""
+    if float(n) == int(n):
+        return f"{int(n):,}"
+    return f"{float(n):,.2f}"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"64KiB"``/``"2 MiB"``/``"128"`` into a byte count.
+
+    Decimal suffixes (``KB``/``MB``/``GB``) are also accepted and treated
+    as powers of ten, matching how datasheets quote DRAM sizes.
+    """
+    t = text.strip()
+    suffixes = {
+        "TIB": GIB * 1024, "GIB": GIB, "MIB": MIB, "KIB": KIB,
+        "TB": 10 ** 12, "GB": 10 ** 9, "MB": 10 ** 6, "KB": 10 ** 3,
+        "B": 1,
+    }
+    upper = t.upper().replace(" ", "")
+    for suffix in sorted(suffixes, key=len, reverse=True):
+        if upper.endswith(suffix):
+            num = upper[: -len(suffix)]
+            if not num:
+                raise ValueError(f"no numeric part in size {text!r}")
+            return int(float(num) * suffixes[suffix])
+    return int(float(upper))

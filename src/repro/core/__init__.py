@@ -1,0 +1,48 @@
+"""The paper's contribution: the fourteen CUDAMicroBench microbenchmarks."""
+
+from repro.core.bankredux import BankRedux
+from repro.core.base import CATEGORIES, BenchResult, Microbenchmark, SweepResult
+from repro.core.comem import CoMem
+from repro.core.conkernels import Conkernels
+from repro.core.dynparallel import DynParallel, MandelView, mariani_silver
+from repro.core.gsoverlap import GSOverlap
+from repro.core.hdoverlap import HDOverlap
+from repro.core.memalign import MemAlign
+from repro.core.minitransfer import MiniTransfer
+from repro.core.readonly import ReadOnlyMem
+from repro.core.registry import ALL_BENCHMARKS, get_benchmark, list_benchmarks
+from repro.core.shmem import Shmem
+from repro.core.shuffle import Shuffle
+from repro.core.suite import SuiteReport, run_suite, table1
+from repro.core.taskgraph import TaskGraphBench
+from repro.core.unimem import UniMem
+from repro.core.warpdiv import WarpDivRedux
+
+__all__ = [
+    "BankRedux",
+    "CATEGORIES",
+    "BenchResult",
+    "Microbenchmark",
+    "SweepResult",
+    "CoMem",
+    "Conkernels",
+    "DynParallel",
+    "MandelView",
+    "mariani_silver",
+    "GSOverlap",
+    "HDOverlap",
+    "MemAlign",
+    "MiniTransfer",
+    "ReadOnlyMem",
+    "ALL_BENCHMARKS",
+    "get_benchmark",
+    "list_benchmarks",
+    "Shmem",
+    "Shuffle",
+    "SuiteReport",
+    "run_suite",
+    "table1",
+    "TaskGraphBench",
+    "UniMem",
+    "WarpDivRedux",
+]

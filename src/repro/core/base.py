@@ -1,0 +1,135 @@
+"""The microbenchmark framework (the paper's Table I rows).
+
+Every CUDAMicroBench entry pairs a *naive* kernel exhibiting one
+performance pathology with an *optimized* kernel applying the fix.  A
+:class:`Microbenchmark` subclass implements both, verifies that they
+compute the same answer, and reports a :class:`BenchResult` with the
+simulated times; :meth:`Microbenchmark.sweep` regenerates the paper
+figure's series.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.arch.presets import CARINA
+from repro.arch.spec import SystemSpec
+from repro.common.tables import render_series
+
+__all__ = ["BenchResult", "SweepResult", "Microbenchmark"]
+
+#: The paper's three guidelines (section III, IV, V).
+CATEGORIES = {
+    "parallelism": "Optimizing kernels to saturate the massive parallel capability",
+    "gpu-memory": "Effectively leveraging the deep memory hierarchy inside GPU",
+    "data-movement": "Properly arranging data movement between CPU and GPU",
+}
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one naive-vs-optimized comparison."""
+
+    benchmark: str
+    system: str
+    baseline_name: str
+    optimized_name: str
+    baseline_time: float
+    optimized_time: float
+    verified: bool            #: both versions produced the same answer
+    params: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_time <= 0:
+            return float("inf")
+        return self.baseline_time / self.optimized_time
+
+    def __str__(self) -> str:
+        mark = "ok" if self.verified else "MISMATCH"
+        return (
+            f"{self.benchmark} on {self.system}: {self.baseline_name} "
+            f"{self.baseline_time:.3e}s vs {self.optimized_name} "
+            f"{self.optimized_time:.3e}s -> {self.speedup:.2f}x [{mark}]"
+        )
+
+
+@dataclass
+class SweepResult:
+    """A figure: one x-axis, several named time series."""
+
+    benchmark: str
+    system: str
+    x_name: str
+    x_values: list[Any]
+    series: dict[str, list[float]]
+    title: str = ""
+
+    def speedups(self, baseline: str, optimized: str) -> list[float]:
+        b = self.series[baseline]
+        o = self.series[optimized]
+        return [bi / oi if oi else float("inf") for bi, oi in zip(b, o)]
+
+    def render(self) -> str:
+        return render_series(
+            self.x_name,
+            self.x_values,
+            self.series,
+            title=self.title or f"{self.benchmark} on {self.system}",
+        )
+
+
+class Microbenchmark(abc.ABC):
+    """Base class for the fourteen CUDAMicroBench entries.
+
+    Class attributes mirror the columns of the paper's Table I.
+    """
+
+    #: short name, as in Table I (e.g. "CoMem")
+    name: str = "?"
+    #: one of :data:`CATEGORIES`
+    category: str = "?"
+    #: "Pattern of Performance Inefficiency" column
+    pattern: str = ""
+    #: "Optimization techniques" column
+    technique: str = ""
+    #: "Speedup" column, as printed in the paper
+    paper_speedup: str = ""
+    #: "Programmability" column (1 easy .. 5 hard)
+    programmability: int = 0
+    #: default system the paper measured this benchmark on
+    default_system: SystemSpec = CARINA
+
+    def __init__(self, system: SystemSpec | None = None) -> None:
+        self.system = system or self.default_system
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, **params: Any) -> BenchResult:
+        """Run the default comparison and return the result."""
+
+    def sweep(self, values: Sequence[Any] | None = None, **params: Any) -> SweepResult:
+        """Regenerate the paper figure's sweep.
+
+        Subclasses with a figure override this; the default runs
+        :meth:`run` per value of the subclass's ``sweep_param``.
+        """
+        raise NotImplementedError(f"{self.name} has no sweep/figure")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def table1_row(cls) -> list[str]:
+        return [
+            cls.name,
+            cls.pattern,
+            cls.technique,
+            cls.paper_speedup,
+            str(cls.programmability),
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(system={self.system.name!r})"

@@ -1,0 +1,58 @@
+"""Registry of the fourteen microbenchmarks, in Table I order."""
+
+from __future__ import annotations
+
+from repro.arch.spec import SystemSpec
+from repro.common.errors import ReproError
+from repro.core.bankredux import BankRedux
+from repro.core.base import Microbenchmark
+from repro.core.comem import CoMem
+from repro.core.conkernels import Conkernels
+from repro.core.dynparallel import DynParallel
+from repro.core.gsoverlap import GSOverlap
+from repro.core.hdoverlap import HDOverlap
+from repro.core.memalign import MemAlign
+from repro.core.minitransfer import MiniTransfer
+from repro.core.readonly import ReadOnlyMem
+from repro.core.shmem import Shmem
+from repro.core.shuffle import Shuffle
+from repro.core.taskgraph import TaskGraphBench
+from repro.core.unimem import UniMem
+from repro.core.warpdiv import WarpDivRedux
+
+__all__ = ["ALL_BENCHMARKS", "get_benchmark", "list_benchmarks"]
+
+#: Table I order: parallelism, GPU memory, data movement.
+ALL_BENCHMARKS: tuple[type[Microbenchmark], ...] = (
+    WarpDivRedux,
+    DynParallel,
+    Conkernels,
+    TaskGraphBench,
+    Shmem,
+    CoMem,
+    MemAlign,
+    GSOverlap,
+    Shuffle,
+    BankRedux,
+    HDOverlap,
+    ReadOnlyMem,
+    UniMem,
+    MiniTransfer,
+)
+
+_BY_NAME = {cls.name.lower(): cls for cls in ALL_BENCHMARKS}
+
+
+def list_benchmarks() -> list[str]:
+    return [cls.name for cls in ALL_BENCHMARKS]
+
+
+def get_benchmark(name: str, system: SystemSpec | None = None) -> Microbenchmark:
+    """Instantiate a microbenchmark by its Table I name."""
+    try:
+        cls = _BY_NAME[name.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {', '.join(list_benchmarks())}"
+        ) from None
+    return cls(system)

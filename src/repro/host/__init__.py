@@ -1,0 +1,43 @@
+"""Host runtime: streams, engine scheduling, unified memory, graphs."""
+
+from repro.host.bandwidth import BandwidthReport, measure_bandwidth
+from repro.host.doctor import Finding, diagnose
+from repro.host.engine import DeviceEngine
+from repro.host.graph import ExecGraph, GraphNode, TaskGraph
+from repro.host.profiler import build_report, kernel_metrics
+from repro.host.runtime import CudaLite
+from repro.host.stream import Event, Op, Stream
+from repro.host.timeline import Timeline, TimelineEvent
+from repro.host.unified import (
+    UM_BANDWIDTH_EFFICIENCY,
+    UM_FAULT_CONCURRENCY,
+    ManagedState,
+    MigrationPlan,
+    contiguous_groups,
+    migration_time,
+)
+
+__all__ = [
+    "BandwidthReport",
+    "measure_bandwidth",
+    "Finding",
+    "diagnose",
+    "DeviceEngine",
+    "ExecGraph",
+    "GraphNode",
+    "TaskGraph",
+    "build_report",
+    "kernel_metrics",
+    "CudaLite",
+    "Event",
+    "Op",
+    "Stream",
+    "Timeline",
+    "TimelineEvent",
+    "UM_BANDWIDTH_EFFICIENCY",
+    "UM_FAULT_CONCURRENCY",
+    "ManagedState",
+    "MigrationPlan",
+    "contiguous_groups",
+    "migration_time",
+]

@@ -1,0 +1,89 @@
+"""bandwidthTest: the classic CUDA-Samples measurement utility.
+
+Measures H2D, D2H and D2D throughput on a simulated system over a range
+of transfer sizes, for pinned and pageable host memory.  Useful for
+sanity-checking a :class:`~repro.arch.spec.SystemSpec` (the asymptotic
+numbers must approach the spec's bandwidths while small transfers are
+latency-bound) and as the canonical "is this system configured sanely"
+smoke test, exactly like its namesake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.tables import render_table
+from repro.host.runtime import CudaLite
+
+__all__ = ["BandwidthReport", "measure_bandwidth"]
+
+
+@dataclass
+class BandwidthReport:
+    """Measured throughput in bytes/second, by direction and size."""
+
+    system: str
+    sizes: list[int]
+    h2d_pinned: list[float]
+    h2d_pageable: list[float]
+    d2h_pinned: list[float]
+    d2d: list[float]
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{size // 1024} KiB" if size < 1 << 20 else f"{size >> 20} MiB",
+                f"{h2dp / 1e9:.2f}",
+                f"{h2dg / 1e9:.2f}",
+                f"{d2hp / 1e9:.2f}",
+                f"{d2d / 1e9:.2f}",
+            ]
+            for size, h2dp, h2dg, d2hp, d2d in zip(
+                self.sizes, self.h2d_pinned, self.h2d_pageable,
+                self.d2h_pinned, self.d2d,
+            )
+        ]
+        return render_table(
+            ["size", "H2D pinned", "H2D pageable", "D2H pinned", "D2D"],
+            rows,
+            title=f"bandwidthTest on {self.system} (GB/s)",
+        )
+
+
+def _timed(rt: CudaLite, fn) -> float:
+    with rt.timer() as t:
+        fn()
+    return t.elapsed
+
+
+def measure_bandwidth(
+    rt: CudaLite,
+    sizes: list[int] | None = None,
+) -> BandwidthReport:
+    """Run the bandwidth sweep on ``rt``'s system."""
+    sizes = sizes or [1 << k for k in range(16, 27, 2)]
+    h2d_pinned: list[float] = []
+    h2d_pageable: list[float] = []
+    d2h_pinned: list[float] = []
+    d2d: list[float] = []
+    for size in sizes:
+        n = size // 4
+        host = np.zeros(n, dtype=np.float32)
+        src = rt.malloc(n)
+        dst = rt.malloc(n)
+        h2d_pinned.append(size / _timed(rt, lambda: rt.memcpy_h2d(src, host, pinned=True)))
+        h2d_pageable.append(size / _timed(rt, lambda: rt.memcpy_h2d(src, host, pinned=False)))
+        d2h_pinned.append(size / _timed(rt, lambda: rt.memcpy_d2h(src, pinned=True)))
+        d2d.append(size / _timed(rt, lambda: rt.memcpy_d2d(dst, src)))
+        rt.free(src)
+        rt.free(dst)
+    return BandwidthReport(
+        system=rt.system.name,
+        sizes=sizes,
+        h2d_pinned=h2d_pinned,
+        h2d_pageable=h2d_pageable,
+        d2h_pinned=d2h_pinned,
+        d2d=d2d,
+    )

@@ -1,0 +1,159 @@
+"""Performance doctor: detect the paper's inefficiency patterns.
+
+CUDAMicroBench's purpose is to *teach* the fourteen inefficiency
+patterns; this module closes the loop by detecting them automatically
+from a launch's :class:`~repro.simt.stats.KernelStats` — the
+"evaluating tools' capability of detecting memory problems" direction
+of the paper's future work.  Each finding names the matching
+microbenchmark, so a flagged kernel points straight at the example
+showing the fix.
+
+Usage::
+
+    stats = rt.launch(my_kernel, grid, block, *args)
+    for finding in diagnose(stats, rt.gpu):
+        print(finding)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import GPUSpec
+from repro.simt.stats import KernelStats
+from repro.timing.occupancy import compute_occupancy
+
+__all__ = ["Finding", "diagnose", "SEVERITIES"]
+
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected inefficiency."""
+
+    rule: str          #: short identifier, e.g. "uncoalesced-access"
+    severity: str      #: one of SEVERITIES
+    benchmark: str     #: the CUDAMicroBench entry demonstrating the fix
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.rule}: {self.message} (see {self.benchmark})"
+
+
+def _f(rule, severity, benchmark, message) -> Finding:
+    return Finding(rule=rule, severity=severity, benchmark=benchmark, message=message)
+
+
+def diagnose(stats: KernelStats, gpu: GPUSpec) -> list[Finding]:
+    """Inspect one launch's statistics for known inefficiency patterns.
+
+    Returns findings ordered most-severe first; an empty list means no
+    pattern fired.
+    """
+    findings: list[Finding] = []
+
+    # --- coalescing (CoMem) -------------------------------------------
+    if stats.global_requests:
+        tpr = stats.transactions / stats.global_requests
+        if tpr >= 8:
+            findings.append(_f(
+                "uncoalesced-access", "critical", "CoMem",
+                f"{tpr:.1f} transactions per global request "
+                f"(coalesced = 1); lanes of a warp stride through memory",
+            ))
+        elif tpr >= 3:
+            findings.append(_f(
+                "uncoalesced-access", "warning", "CoMem",
+                f"{tpr:.1f} transactions per global request",
+            ))
+        elif 1.5 <= tpr < 3 and stats.gld_efficiency >= 0.5:
+            findings.append(_f(
+                "misaligned-access", "info", "MemAlign",
+                f"{tpr:.1f} transactions per request with good sector "
+                "utilization: warp accesses straddle segment boundaries",
+            ))
+
+    # --- sector waste --------------------------------------------------
+    if stats.sectors_requested and stats.gld_efficiency < 0.5:
+        findings.append(_f(
+            "low-load-efficiency",
+            "critical" if stats.gld_efficiency < 0.25 else "warning",
+            "CoMem / MiniTransfer",
+            f"only {stats.gld_efficiency:.0%} of each transferred sector is "
+            "used; check access pattern and data layout",
+        ))
+
+    # --- divergence (WarpDivRedux) --------------------------------------
+    if stats.warp_execution_efficiency < 0.9:
+        sev = "warning" if stats.warp_execution_efficiency > 0.6 else "critical"
+        findings.append(_f(
+            "warp-divergence", sev, "WarpDivRedux",
+            f"warp execution efficiency {stats.warp_execution_efficiency:.0%}; "
+            f"{stats.divergent_branches:.0f} of {stats.branches:.0f} branches "
+            "diverged within a warp",
+        ))
+
+    # --- bank conflicts (BankRedux) ---------------------------------------
+    if stats.shared_requests and stats.shared_efficiency < 0.9:
+        sev = "warning" if stats.shared_efficiency > 0.5 else "critical"
+        findings.append(_f(
+            "shared-bank-conflicts", sev, "BankRedux",
+            f"shared accesses replay {1 / stats.shared_efficiency:.1f}x on "
+            "average from bank conflicts",
+        ))
+
+    # --- constant serialization (ReadOnlyMem anti-pattern) ------------------
+    if stats.constant_requests and stats.constant_replays > stats.constant_requests:
+        findings.append(_f(
+            "constant-scatter", "warning", "ReadOnlyMem",
+            "constant-memory reads are not warp-uniform and serialize; "
+            "scattered read-only data belongs in texture/global memory",
+        ))
+
+    # --- occupancy ---------------------------------------------------------
+    occ = compute_occupancy(
+        gpu,
+        stats.block.size,
+        shared_mem_per_block=stats.shared_mem_per_block,
+        registers_per_thread=stats.registers_per_thread,
+        n_blocks=stats.blocks,
+    )
+    if occ.occupancy < 0.5:
+        findings.append(_f(
+            "low-occupancy", "warning", "Conkernels",
+            f"occupancy {occ.occupancy:.0%}, limited by {occ.limiter}; "
+            "little latency hiding available",
+        ))
+    if stats.blocks < gpu.sm_count:
+        findings.append(_f(
+            "undersized-grid", "info", "Conkernels",
+            f"grid of {stats.blocks} blocks cannot fill {gpu.sm_count} SMs; "
+            "consider concurrent kernels or a larger grid",
+        ))
+
+    # --- barriers (Shuffle) ----------------------------------------------
+    if stats.barriers > 6 and stats.shared_requests:
+        findings.append(_f(
+            "barrier-heavy-exchange", "info", "Shuffle",
+            f"{stats.barriers} block barriers around shared-memory traffic; "
+            "warp-level shuffles can replace the intra-warp steps",
+        ))
+
+    # --- Kepler read-only placement (ReadOnlyMem) ----------------------------
+    if not gpu.global_loads_cached_in_l1:
+        global_bytes = stats.trace and sum(
+            r.summary.bytes_requested
+            for r in stats.trace.records
+            if r.space == "global" and not r.is_store
+        )
+        if global_bytes and global_bytes > stats.bytes_requested * 0.5:
+            findings.append(_f(
+                "uncached-read-path", "warning", "ReadOnlyMem",
+                f"{gpu.name} does not cache global loads in L1; route "
+                "read-only data through texture/__ldg",
+            ))
+
+    order = {s: i for i, s in enumerate(SEVERITIES[::-1])}
+    findings.sort(key=lambda f: order[f.severity])
+    return findings

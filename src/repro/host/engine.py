@@ -1,0 +1,166 @@
+"""The discrete-event scheduler for device-level concurrency.
+
+Kernels and copies have their durations computed by the analytic models;
+*when* they run is decided here, following CUDA's engine model:
+
+* operations within a stream execute in order;
+* H2D and D2H copies use separate DMA engines when the device has two
+  copy engines and the link is full duplex, so opposite-direction
+  copies overlap (the HDOverlap pipeline, paper §V-A);
+* kernels from different streams run concurrently while SMs are
+  available: each kernel is granted ``min(demand, free SMs)`` SMs at
+  start and its duration is evaluated for that grant (the Conkernels
+  behaviour, paper §III-C).  Grants are not renegotiated mid-flight —
+  a documented simplification.
+
+The engine is deterministic: ready operations start in stream-id order,
+and completions are processed earliest-first.
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import SystemSpec
+from repro.common.errors import StreamError
+from repro.host.stream import Event, Op, Stream
+from repro.host.timeline import Timeline
+
+__all__ = ["DeviceEngine"]
+
+_COPY_KINDS = {"h2d": "copy H2D", "d2h": "copy D2H", "d2d": "copy H2D", "migrate": None}
+
+
+class DeviceEngine:
+    """Schedules submitted operations onto the simulated device."""
+
+    def __init__(self, system: SystemSpec, timeline: Timeline) -> None:
+        self.system = system
+        self.gpu = system.gpu
+        self.link = system.link
+        self.timeline = timeline
+        self.now = 0.0
+        self.streams: list[Stream] = []
+        self.free_sms = self.gpu.sm_count
+        self.running: list[Op] = []
+        self.running_kernels = 0
+        self.dual_copy = self.gpu.copy_engines >= 2 and self.link.duplex
+        self._copy_busy: dict[str, Op | None] = {"h2d": None, "d2h": None}
+
+    # ------------------------------------------------------------------
+    def register_stream(self, stream: Stream) -> None:
+        self.streams.append(stream)
+
+    def submit(self, op: Op) -> None:
+        """Enqueue an operation at the tail of its stream."""
+        if op.stream not in self.streams:
+            self.register_stream(op.stream)
+        op.stream.queue.append(op)
+
+    # ------------------------------------------------------------------
+    def _copy_engine_for(self, op: Op) -> str:
+        if op.kind == "d2h" or (op.kind == "migrate" and op.name.endswith("->host")):
+            direction = "d2h"
+        else:
+            direction = "h2d"
+        return direction if self.dual_copy else "h2d"
+
+    def _try_start(self, op: Op) -> bool:
+        """Start ``op`` now if resources allow; returns True on start."""
+        if op.kind in ("event_record", "event_wait"):
+            if op.kind == "event_wait":
+                ev = op.event
+                assert ev is not None
+                if ev.recorded and ev.done_time is None:
+                    return False  # recorded but not yet reached
+                if ev.done_time is not None and ev.done_time > self.now:
+                    return False
+            op.start_time = op.end_time = self.now
+            op.done = True
+            if op.kind == "event_record":
+                assert op.event is not None
+                op.event.done_time = self.now
+            if op.on_complete:
+                op.on_complete(op)
+            return True
+
+        if op.kind in _COPY_KINDS:
+            engine = self._copy_engine_for(op)
+            if self._copy_busy[engine] is not None:
+                return False
+            assert op.duration is not None
+            op.start_time = self.now
+            op.end_time = self.now + op.duration
+            self._copy_busy[engine] = op
+            self.running.append(op)
+            return True
+
+        if op.kind in ("kernel", "graph"):
+            if self.running_kernels >= self.gpu.max_concurrent_kernels:
+                return False
+            if self.free_sms < 1:
+                return False
+            grant = max(1, min(op.sm_demand or self.gpu.sm_count, self.free_sms))
+            if op.timing_fn is not None:
+                op.duration = op.timing_fn(grant)
+            assert op.duration is not None
+            op.granted_sms = grant
+            self.free_sms -= grant
+            self.running_kernels += 1
+            op.start_time = self.now
+            op.end_time = self.now + op.duration
+            self.running.append(op)
+            return True
+
+        raise StreamError(f"unknown op kind {op.kind!r}")
+
+    def _start_ready(self) -> bool:
+        started = False
+        for stream in sorted(self.streams, key=lambda s: s.id):
+            while True:
+                op = stream.head()
+                if op is None or not self._try_start(op):
+                    break
+                started = True
+        return started
+
+    def _complete_earliest(self) -> None:
+        op = min(self.running, key=lambda o: o.end_time)  # type: ignore[arg-type]
+        self.running.remove(op)
+        assert op.end_time is not None and op.start_time is not None
+        self.now = max(self.now, op.end_time)
+        if op.kind in _COPY_KINDS:
+            engine = self._copy_engine_for(op)
+            self._copy_busy[engine] = None
+            lane = _COPY_KINDS[op.kind] or (
+                "copy D2H" if engine == "d2h" else "copy H2D"
+            )
+        else:
+            self.free_sms += op.granted_sms
+            self.running_kernels -= 1
+            lane = op.stream.name
+        op.done = True
+        self.timeline.add(op.name, op.kind, lane, op.start_time, op.end_time)
+        if op.on_complete:
+            op.on_complete(op)
+
+    # ------------------------------------------------------------------
+    def run_until_idle(self) -> float:
+        """Drain all streams; returns the device time afterwards."""
+        while True:
+            if self._start_ready():
+                continue
+            if self.running:
+                self._complete_earliest()
+                continue
+            stuck = [s for s in self.streams if s.pending()]
+            if stuck:
+                names = ", ".join(s.name for s in stuck)
+                raise StreamError(
+                    f"deadlock: streams [{names}] have pending work but "
+                    "nothing can start (circular event waits?)"
+                )
+            return self.now
+
+    def drop_completed(self) -> None:
+        """Garbage-collect finished ops from stream queues."""
+        for s in self.streams:
+            s.queue = [op for op in s.queue if not op.done]

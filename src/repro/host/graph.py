@@ -1,0 +1,76 @@
+"""CUDA task graphs: capture once, launch many times cheaply.
+
+CUDA 10 graphs (paper §III-D) let an application define a DAG of
+operations separately from executing it; launching an instantiated
+graph submits every node with far lower per-node overhead than
+individual API calls, which pays off for short, repeatedly-executed
+work.
+
+The simulator supports stream-capture-style construction: operations
+issued between :meth:`~repro.host.runtime.CudaLite.graph_capture_begin`
+and ``graph_capture_end`` are recorded as :class:`GraphNode` recipes
+instead of being executed.  ``instantiate()`` freezes the graph;
+``graph_launch`` replays the recipes with graph-node overheads.
+
+By default a replay reuses the statistics captured at record time
+(the common CUDA-graphs use case of re-running identical work); pass
+``functional=True`` to re-execute kernels and copies against current
+device data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import GraphError
+
+__all__ = ["GraphNode", "TaskGraph", "ExecGraph"]
+
+
+@dataclass
+class GraphNode:
+    """One captured operation.
+
+    ``submit`` re-enqueues the op on a stream with graph overheads;
+    ``refresh`` (optional) re-runs the functional work and returns an
+    updated submit closure, for ``functional=True`` replays.
+    """
+
+    kind: str
+    name: str
+    submit: Callable[[Any], None]          #: (stream) -> None
+    refresh: Callable[[], Callable[[Any], None]] | None = None
+
+
+@dataclass
+class TaskGraph:
+    """A graph under construction (mutable until instantiated)."""
+
+    nodes: list[GraphNode] = field(default_factory=list)
+    _frozen: bool = False
+
+    def add(self, node: GraphNode) -> None:
+        if self._frozen:
+            raise GraphError("cannot add nodes after instantiate()")
+        self.nodes.append(node)
+
+    def instantiate(self) -> "ExecGraph":
+        """Freeze into an executable graph (``cudaGraphInstantiate``)."""
+        if not self.nodes:
+            raise GraphError("cannot instantiate an empty graph")
+        self._frozen = True
+        return ExecGraph(nodes=tuple(self.nodes))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass(frozen=True)
+class ExecGraph:
+    """An instantiated, immutable graph ready for launching."""
+
+    nodes: tuple[GraphNode, ...]
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,73 @@
+"""nvprof-style reporting over the kernel log.
+
+The paper leans on ``nvprof`` metrics — warp execution efficiency for
+WarpDivRedux (§III-A), load efficiency for CoMem, shared-memory
+efficiency for BankRedux — and on ``nvvp`` timelines for Conkernels.
+:func:`build_report` renders the same per-kernel metrics from the
+simulator's :class:`~repro.simt.stats.KernelStats`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.arch.spec import GPUSpec
+from repro.common.tables import render_table
+from repro.common.units import fmt_time
+from repro.host.stream import Op
+from repro.simt.stats import KernelStats
+from repro.timing.occupancy import compute_occupancy
+
+__all__ = ["build_report", "kernel_metrics"]
+
+
+def kernel_metrics(stats: KernelStats, gpu: GPUSpec) -> dict[str, float]:
+    """The nvprof-like metric set for one launch."""
+    occ = compute_occupancy(
+        gpu,
+        stats.block.size,
+        shared_mem_per_block=stats.shared_mem_per_block,
+        registers_per_thread=stats.registers_per_thread,
+        n_blocks=stats.blocks,
+    )
+    return {
+        "warp_execution_efficiency": stats.warp_execution_efficiency,
+        "branch_efficiency": stats.branch_efficiency,
+        "gld_efficiency": stats.gld_efficiency,
+        "shared_efficiency": stats.shared_efficiency,
+        "achieved_occupancy": occ.occupancy,
+        "transactions_per_request": (
+            stats.transactions / stats.global_requests if stats.global_requests else 0.0
+        ),
+    }
+
+
+def build_report(kernel_log: list[tuple[KernelStats, Op]], gpu: GPUSpec) -> str:
+    """Aggregate the launch log into a per-kernel summary table."""
+    groups: dict[str, list[tuple[KernelStats, Op]]] = defaultdict(list)
+    for stats, op in kernel_log:
+        groups[stats.name].append((stats, op))
+
+    rows = []
+    for name, entries in sorted(groups.items()):
+        times = [op.duration for _, op in entries if op.duration is not None]
+        total = sum(times)
+        calls = len(entries)
+        m = kernel_metrics(entries[0][0], gpu)
+        rows.append(
+            [
+                name,
+                calls,
+                fmt_time(total),
+                fmt_time(total / calls) if calls and times else "-",
+                f"{m['warp_execution_efficiency']:.1%}",
+                f"{m['gld_efficiency']:.1%}",
+                f"{m['shared_efficiency']:.1%}",
+                f"{m['achieved_occupancy']:.1%}",
+            ]
+        )
+    return render_table(
+        ["kernel", "calls", "total", "avg", "warp eff", "gld eff", "smem eff", "occupancy"],
+        rows,
+        title=f"profile on {gpu.name}",
+    )

@@ -1,0 +1,543 @@
+"""CudaLite: the CUDA-runtime-shaped front door of the simulator.
+
+One :class:`CudaLite` instance owns a simulated machine (GPU + link):
+device memory, streams and events, kernel launching, explicit and
+unified-memory transfers, task graphs, and the timeline/profiler.  The
+method names track the CUDA runtime API they stand in for::
+
+    rt = CudaLite(CARINA)                      # V100 system
+    x = rt.to_device(host_x)                   # cudaMalloc + cudaMemcpy
+    y = rt.malloc(n)                           # cudaMalloc
+    rt.launch(axpy, grid, block, x, y, n, a)   # <<<grid, block>>>
+    elapsed = rt.synchronize()                 # cudaDeviceSynchronize
+
+Functional effects (actual data movement between NumPy buffers) happen
+at call time in program order; *durations* are resolved by the
+discrete-event engine at :meth:`synchronize`, which is when overlap
+across streams is decided.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.arch.presets import PCIE3_X16
+from repro.arch.spec import GPUSpec, SystemSpec
+from repro.common.errors import (
+    GraphError,
+    LaunchConfigError,
+    MemoryError_,
+    StreamError,
+)
+from repro.host.engine import DeviceEngine
+from repro.host.graph import ExecGraph, GraphNode, TaskGraph
+from repro.host.stream import Event, Op, Stream
+from repro.host.timeline import Timeline
+from repro.host.unified import ManagedState
+from repro.mem.allocator import DeviceAllocator
+from repro.mem.buffer import DeviceArray
+from repro.simt.dim3 import Dim3
+from repro.simt.executor import run_kernel
+from repro.simt.kernel import KernelDef
+from repro.simt.stats import KernelStats
+from repro.simt.texture import TextureView
+from repro.timing.model import estimate_kernel_time
+from repro.timing.occupancy import compute_occupancy
+
+__all__ = ["CudaLite"]
+
+_CONSTANT_BANK_BYTES = 64 * 1024
+
+
+class CudaLite:
+    """A simulated GPU machine with a CUDA-runtime-style API."""
+
+    def __init__(self, system: SystemSpec | GPUSpec | None = None) -> None:
+        if system is None:
+            from repro.arch.presets import CARINA
+
+            system = CARINA
+        if isinstance(system, GPUSpec):
+            system = SystemSpec(name=f"{system.name} system", gpu=system, link=PCIE3_X16)
+        self.system = system
+        self.gpu = system.gpu
+        self.link = system.link
+        self.timeline = Timeline()
+        self.engine = DeviceEngine(system, self.timeline)
+        self.allocator = DeviceAllocator(self.gpu.dram_size)
+        self.default_stream = Stream(self, name="default stream")
+        self.engine.register_stream(self.default_stream)
+        self._managed: dict[int, ManagedState] = {}
+        self._constant_bytes = 0
+        self._capture: TaskGraph | None = None
+        self.kernel_log: list[tuple[KernelStats, Op]] = []
+
+    # ==================================================================
+    # Memory management
+    # ==================================================================
+    def malloc(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: Any = np.float32,
+        *,
+        align: int = 256,
+        offset: int = 0,
+    ) -> DeviceArray:
+        """``cudaMalloc``; ``offset`` deliberately mis-aligns (MemAlign)."""
+        dt = np.dtype(dtype)
+        size = int(np.prod(shape)) if not isinstance(shape, int) else shape
+        alloc = self.allocator.malloc(max(size, 1) * dt.itemsize, align=align, offset=offset)
+        return DeviceArray(alloc, dt, shape)
+
+    def malloc_managed(
+        self, shape: int | tuple[int, ...], dtype: Any = np.float32
+    ) -> DeviceArray:
+        """``cudaMallocManaged``: unified memory, starts host-resident."""
+        dt = np.dtype(dtype)
+        size = int(np.prod(shape)) if not isinstance(shape, int) else shape
+        alloc = self.allocator.malloc(max(size, 1) * dt.itemsize, managed=True)
+        self._managed[alloc.addr] = ManagedState(alloc, self.gpu.um_page_bytes)
+        return DeviceArray(alloc, dt, shape)
+
+    def free(self, arr: DeviceArray) -> None:
+        """``cudaFree``."""
+        self._managed.pop(arr.alloc.addr, None)
+        self.allocator.free(arr.alloc)
+
+    def to_device(
+        self,
+        host: np.ndarray,
+        *,
+        timed: bool = False,
+        stream: Stream | None = None,
+        pinned: bool = False,
+        align: int = 256,
+        offset: int = 0,
+    ) -> DeviceArray:
+        """Allocate + copy a host array in.  ``timed=False`` (default)
+        treats it as setup outside the measured region."""
+        host = np.ascontiguousarray(host)
+        arr = self.malloc(host.shape, host.dtype, align=align, offset=offset)
+        if timed:
+            self.memcpy_h2d(arr, host, stream=stream, pinned=pinned)
+        else:
+            arr.fill_from(host)
+        return arr
+
+    def const_array(self, host: np.ndarray) -> DeviceArray:
+        """Place read-only data in ``__constant__`` memory (≤ 64 KiB)."""
+        host = np.ascontiguousarray(host)
+        if self._constant_bytes + host.nbytes > _CONSTANT_BANK_BYTES:
+            raise MemoryError_(
+                f"constant memory exhausted: {host.nbytes} B requested, "
+                f"{_CONSTANT_BANK_BYTES - self._constant_bytes} B free"
+            )
+        self._constant_bytes += host.nbytes
+        arr = self.malloc(host.shape, host.dtype)
+        arr.fill_from(host)
+        return arr
+
+    def texture_1d(self, host: np.ndarray) -> TextureView:
+        """Bind a 1-D texture over a linear copy of ``host``."""
+        host = np.ascontiguousarray(host)
+        if host.ndim != 1:
+            raise MemoryError_("texture_1d needs a 1-D host array")
+        arr = self.to_device(host)
+        return TextureView(arr, width=host.shape[0])
+
+    def texture_2d(self, host: np.ndarray, *, tile: int | None = None) -> TextureView:
+        """Bind a 2-D texture: data is stored block-linear (CUDA array)."""
+        host = np.ascontiguousarray(host)
+        if host.ndim != 2:
+            raise MemoryError_("texture_2d needs a 2-D host array")
+        from repro.simt.texture import DEFAULT_TILE
+
+        t = tile or DEFAULT_TILE
+        swizzled = TextureView.swizzle_2d(host, tile=t)
+        arr = self.to_device(swizzled)
+        h, w = host.shape
+        return TextureView(arr, width=w, height=h, tile=t)
+
+    # ==================================================================
+    # Explicit copies
+    # ==================================================================
+    def _submit(self, op: Op) -> None:
+        if self._capture is not None:
+            raise StreamError(
+                "internal: _submit during capture (use _submit_or_capture)"
+            )
+        self.engine.submit(op)
+
+    def _copy_op(
+        self, kind: str, name: str, nbytes: int, stream: Stream, pinned: bool
+    ) -> Op:
+        return Op(
+            kind=kind,
+            name=name,
+            stream=stream,
+            duration=self.link.transfer_time(nbytes, pinned=pinned),
+            nbytes=nbytes,
+        )
+
+    def memcpy_h2d(
+        self,
+        dst: DeviceArray,
+        host: np.ndarray,
+        *,
+        stream: Stream | None = None,
+        pinned: bool = False,
+        name: str | None = None,
+    ) -> None:
+        """``cudaMemcpy(HostToDevice)`` / ``cudaMemcpyAsync`` on a stream."""
+        stream = stream or self.default_stream
+        dst.fill_from(np.asarray(host, dtype=dst.dtype).reshape(dst.shape))
+        st = self._managed.get(dst.alloc.addr)
+        if st is not None:
+            st.on_device[:] = True
+            st.device_dirty[:] = False
+        op = self._copy_op("h2d", name or f"H2D {dst.nbytes}B", dst.nbytes, stream, pinned)
+        self._submit_or_capture(op)
+
+    def memcpy_d2h(
+        self,
+        src: DeviceArray,
+        *,
+        stream: Stream | None = None,
+        pinned: bool = False,
+        name: str | None = None,
+    ) -> np.ndarray:
+        """``cudaMemcpy(DeviceToHost)``; returns the host copy."""
+        stream = stream or self.default_stream
+        op = self._copy_op("d2h", name or f"D2H {src.nbytes}B", src.nbytes, stream, pinned)
+        self._submit_or_capture(op)
+        return src.to_host()
+
+    def memcpy_d2d(
+        self,
+        dst: DeviceArray,
+        src: DeviceArray,
+        *,
+        stream: Stream | None = None,
+        name: str | None = None,
+    ) -> None:
+        """Device-to-device copy at DRAM bandwidth (read + write)."""
+        if dst.nbytes != src.nbytes:
+            raise MemoryError_("d2d size mismatch")
+        stream = stream or self.default_stream
+        dst.view[...] = src.view.reshape(dst.shape)
+        dur = 2.0 * dst.nbytes / self.gpu.dram_bandwidth
+        op = Op(kind="d2d", name=name or f"D2D {dst.nbytes}B", stream=stream, duration=dur, nbytes=dst.nbytes)
+        self._submit_or_capture(op)
+
+    # ==================================================================
+    # Unified memory
+    # ==================================================================
+    def managed_to_host(self, arr: DeviceArray, *, stream: Stream | None = None) -> np.ndarray:
+        """Host reads a managed array: dirty device pages migrate back."""
+        st = self._managed.get(arr.alloc.addr)
+        if st is None:
+            raise MemoryError_("managed_to_host on a non-managed array")
+        stream = stream or self.default_stream
+        plan = st.plan_host_access(self.link, self.gpu)
+        if not plan.empty:
+            op = Op(
+                kind="migrate",
+                name=f"UM migrate {plan.n_pages}p ->host",
+                stream=stream,
+                duration=plan.duration,
+                nbytes=plan.nbytes,
+            )
+            self._submit_or_capture(op)
+        return arr.to_host()
+
+    def mem_advise(self, arr: DeviceArray, advice: str) -> None:
+        """``cudaMemAdvise`` on a managed allocation.
+
+        Supported advice: ``"read_mostly"`` / ``"unset_read_mostly"``
+        (the optimization the paper lists as future work: read-mostly
+        pages stay duplicated across host reads instead of bouncing).
+        """
+        st = self._managed.get(arr.alloc.addr)
+        if st is None:
+            raise MemoryError_("mem_advise on a non-managed array")
+        if advice == "read_mostly":
+            st.read_mostly = True
+        elif advice == "unset_read_mostly":
+            st.read_mostly = False
+        else:
+            raise MemoryError_(f"unknown memory advice {advice!r}")
+
+    def prefetch(self, arr: DeviceArray, *, stream: Stream | None = None) -> None:
+        """``cudaMemPrefetchAsync`` of the whole allocation to device."""
+        st = self._managed.get(arr.alloc.addr)
+        if st is None:
+            raise MemoryError_("prefetch on a non-managed array")
+        stream = stream or self.default_stream
+        plan = st.prefetch_all(self.link, self.gpu)
+        if not plan.empty:
+            op = Op(
+                kind="migrate",
+                name=f"UM prefetch {plan.n_pages}p ->dev",
+                stream=stream,
+                duration=plan.duration,
+                nbytes=plan.nbytes,
+            )
+            self._submit_or_capture(op)
+
+    # ==================================================================
+    # Kernel launches
+    # ==================================================================
+    def _sm_demand(self, stats: KernelStats) -> int:
+        occ = compute_occupancy(
+            self.gpu,
+            stats.block.size,
+            shared_mem_per_block=stats.shared_mem_per_block,
+            registers_per_thread=stats.registers_per_thread,
+            n_blocks=stats.blocks,
+        )
+        return min(self.gpu.sm_count, -(-stats.blocks // occ.blocks_per_sm))
+
+    def launch(
+        self,
+        kdef: KernelDef,
+        grid: Dim3 | int | tuple[int, ...],
+        block: Dim3 | int | tuple[int, ...],
+        *args: Any,
+        stream: Stream | None = None,
+        launch_kind: str = "host",
+        name: str | None = None,
+    ) -> KernelStats:
+        """``kernel<<<grid, block, 0, stream>>>(*args)``.
+
+        Executes functionally now; the timing op is scheduled on the
+        stream and resolved at :meth:`synchronize`.  Managed allocations
+        touched by the kernel enqueue their page migrations first.
+        """
+        stream = stream or self.default_stream
+        stats = run_kernel(kdef, grid, block, args, gpu=self.gpu, name=name)
+        self._enqueue_migrations(stats, stream)
+        op = self._kernel_op(stats, stream, launch_kind)
+        self._submit_or_capture(op, stats=stats)
+        self.kernel_log.append((stats, op))
+        return stats
+
+    def launch_from_device(self, kdef: KernelDef, grid, block, *args: Any,
+                           stream: Stream | None = None, name: str | None = None) -> KernelStats:
+        """A dynamic-parallelism launch: device-side overhead, no host trip."""
+        if not self.gpu.supports_dynamic_parallelism:
+            raise LaunchConfigError(f"{self.gpu.name} lacks dynamic parallelism")
+        return self.launch(
+            kdef, grid, block, *args, stream=stream, launch_kind="device", name=name
+        )
+
+    def _kernel_op(self, stats: KernelStats, stream: Stream, launch_kind: str) -> Op:
+        def timing_fn(granted_sms: int) -> float:
+            return estimate_kernel_time(
+                stats, self.gpu, launch_kind=launch_kind, sm_limit=granted_sms
+            ).time_s
+
+        return Op(
+            kind="kernel",
+            name=stats.name,
+            stream=stream,
+            timing_fn=timing_fn,
+            sm_demand=self._sm_demand(stats),
+        )
+
+    def _enqueue_migrations(self, stats: KernelStats, stream: Stream) -> None:
+        for addr, (reads, writes) in stats.managed_touched.items():
+            st = self._managed.get(addr)
+            if st is None:
+                continue
+            plan = st.plan_device_access(
+                np.fromiter(reads, dtype=np.int64, count=len(reads)),
+                np.fromiter(writes, dtype=np.int64, count=len(writes)),
+                self.link,
+                self.gpu,
+            )
+            if not plan.empty:
+                op = Op(
+                    kind="migrate",
+                    name=f"UM migrate {plan.n_pages}p ->dev",
+                    stream=stream,
+                    duration=plan.duration,
+                    nbytes=plan.nbytes,
+                )
+                self._submit_or_capture(op)
+
+    # ==================================================================
+    # Streams, events, synchronization
+    # ==================================================================
+    def stream(self, name: str | None = None) -> Stream:
+        """``cudaStreamCreate``."""
+        s = Stream(self, name=name)
+        self.engine.register_stream(s)
+        return s
+
+    def event(self, name: str = "event") -> Event:
+        """``cudaEventCreate``."""
+        return Event(name=name)
+
+    def record_event(self, event: Event, *, stream: Stream | None = None) -> None:
+        """``cudaEventRecord``."""
+        stream = stream or self.default_stream
+        event.recorded = True
+        event.done_time = None
+        self._submit_or_capture(
+            Op(kind="event_record", name=f"record {event.name}", stream=stream, event=event)
+        )
+
+    def wait_event(self, event: Event, *, stream: Stream | None = None) -> None:
+        """``cudaStreamWaitEvent``."""
+        stream = stream or self.default_stream
+        self._submit_or_capture(
+            Op(kind="event_wait", name=f"wait {event.name}", stream=stream, event=event)
+        )
+
+    def synchronize(self) -> float:
+        """``cudaDeviceSynchronize``: drain all streams, return device time."""
+        if self._capture is not None:
+            raise StreamError("cannot synchronize during graph capture")
+        t = self.engine.run_until_idle()
+        self.engine.drop_completed()
+        return t
+
+    @contextmanager
+    def timer(self):
+        """Measure the simulated duration of a region::
+
+            with rt.timer() as t:
+                ... enqueue work ...
+            print(t.elapsed)
+        """
+
+        class _Timer:
+            elapsed = 0.0
+
+        t = _Timer()
+        start = self.engine.now
+        yield t
+        t.elapsed = self.synchronize() - start
+
+    @property
+    def now(self) -> float:
+        """Current device-clock time (advances at synchronize)."""
+        return self.engine.now
+
+    # ==================================================================
+    # Task graphs
+    # ==================================================================
+    def _submit_or_capture(self, op: Op, stats: KernelStats | None = None) -> None:
+        if self._capture is None:
+            self.engine.submit(op)
+            return
+        graph = self._capture
+        # Freeze the recipe: re-create a fresh Op per graph launch, with
+        # graph-node overhead for kernels.
+        if op.kind == "kernel" and stats is not None:
+            def submit(stream: Stream, _stats=stats) -> None:
+                def timing_fn(granted: int) -> float:
+                    return estimate_kernel_time(
+                        _stats, self.gpu, launch_kind="graph", sm_limit=granted
+                    ).time_s
+
+                self.engine.submit(
+                    Op(
+                        kind="kernel",
+                        name=f"[graph] {_stats.name}",
+                        stream=stream,
+                        timing_fn=timing_fn,
+                        sm_demand=self._sm_demand(_stats),
+                    )
+                )
+        else:
+            def submit(stream: Stream, _op=op) -> None:
+                self.engine.submit(
+                    Op(
+                        kind=_op.kind,
+                        name=f"[graph] {_op.name}",
+                        stream=stream,
+                        duration=_op.duration,
+                        nbytes=_op.nbytes,
+                        event=_op.event,
+                    )
+                )
+
+        graph.add(GraphNode(kind=op.kind, name=op.name, submit=submit))
+
+    def graph_capture_begin(self) -> None:
+        """Begin stream capture (``cudaStreamBeginCapture``).
+
+        Deviation from CUDA: the captured operations execute
+        *functionally* once during capture, which is how the simulator
+        learns their statistics; their timing is excluded.
+        """
+        if self._capture is not None:
+            raise GraphError("capture already in progress")
+        if not self.gpu.supports_task_graphs:
+            raise GraphError(f"{self.gpu.name} does not support task graphs")
+        self._capture = TaskGraph()
+
+    def graph_capture_end(self) -> TaskGraph:
+        """End capture and return the graph (``cudaStreamEndCapture``)."""
+        if self._capture is None:
+            raise GraphError("no capture in progress")
+        g = self._capture
+        self._capture = None
+        return g
+
+    def graph_launch(self, graph: ExecGraph, *, stream: Stream | None = None) -> None:
+        """``cudaGraphLaunch``: one host call submits every node."""
+        if not isinstance(graph, ExecGraph):
+            raise GraphError("graph_launch needs an instantiated ExecGraph")
+        stream = stream or self.default_stream
+        self.engine.submit(
+            Op(
+                kind="kernel",
+                name="graph dispatch",
+                stream=stream,
+                duration=self.gpu.graph_launch_overhead_s,
+                sm_demand=1,
+            )
+        )
+        for node in graph.nodes:
+            node.submit(stream)
+
+    # ==================================================================
+    # Reporting
+    # ==================================================================
+    def profile_report(self, *, diagnose: bool = False) -> str:
+        """An nvprof-style per-kernel summary of everything launched.
+
+        With ``diagnose=True``, appends the performance doctor's
+        findings for each kernel that triggered any.
+        """
+        from repro.host.profiler import build_report
+
+        report = build_report(self.kernel_log, self.gpu)
+        if diagnose:
+            from repro.host.doctor import diagnose as run_doctor
+
+            seen: set[str] = set()
+            extra: list[str] = []
+            for stats, _ in self.kernel_log:
+                if stats.name in seen:
+                    continue
+                seen.add(stats.name)
+                findings = run_doctor(stats, self.gpu)
+                if findings:
+                    extra.append(f"\n{stats.name}:")
+                    extra.extend(f"  {f}" for f in findings)
+            if extra:
+                report += "\n\nperformance doctor findings:" + "".join(
+                    f"\n{line}" for line in extra
+                )
+        return report
+
+    def reset(self) -> None:
+        """Clear timeline and logs (keeps memory contents)."""
+        self.timeline.clear()
+        self.kernel_log.clear()

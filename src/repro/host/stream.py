@@ -1,0 +1,99 @@
+"""Streams, events, and the operations that flow through them.
+
+A :class:`Stream` is an ordered queue of device operations; operations
+in different streams may overlap, subject to engine resources — exactly
+CUDA's model.  An :class:`Event` marks a point in a stream; other
+streams can wait on it, and the host can read its completion timestamp
+(the simulated ``cudaEventElapsedTime``).
+
+Streams here follow ``--default-stream per-thread`` semantics: the
+default stream is an ordinary stream with no implicit global
+synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import StreamError
+
+__all__ = ["Op", "Stream", "Event"]
+
+
+@dataclass
+class Op:
+    """One device operation awaiting scheduling.
+
+    Exactly one of ``duration`` (fixed-time ops: copies, migrations,
+    event bookkeeping) or ``timing_fn`` (kernels: called with the SM
+    grant at start time) must be provided.
+    """
+
+    kind: str                    #: "kernel" | "h2d" | "d2h" | "d2d" | ...
+    name: str
+    stream: "Stream"
+    duration: float | None = None
+    timing_fn: Callable[[int], float] | None = None
+    sm_demand: int = 0           #: SMs the op can use (kernels only)
+    nbytes: int = 0
+    event: "Event | None" = None     #: for record/wait ops
+    on_complete: Callable[["Op"], None] | None = None
+
+    # scheduling state
+    start_time: float | None = None
+    end_time: float | None = None     #: scheduled completion (set at start)
+    done: bool = False                #: completion has been processed
+    granted_sms: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.duration is None) == (self.timing_fn is None):
+            if self.kind not in ("event_record", "event_wait"):
+                raise StreamError(
+                    f"op {self.name!r} needs exactly one of duration/timing_fn"
+                )
+
+
+class Stream:
+    """An in-order queue of device operations."""
+
+    _next_id = 0
+
+    def __init__(self, device: Any, name: str | None = None) -> None:
+        self.device = device
+        self.id = Stream._next_id
+        Stream._next_id += 1
+        self.name = name or (f"stream {self.id}" if self.id else "default stream")
+        self.queue: list[Op] = []
+
+    def head(self) -> Op | None:
+        """The next unfinished, unstarted op, if its predecessors are done."""
+        for op in self.queue:
+            if op.done:
+                continue
+            if op.start_time is not None:
+                return None  # head is running
+            return op
+        return None
+
+    def pending(self) -> int:
+        return sum(1 for op in self.queue if not op.done)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Stream({self.name}, pending={self.pending()})"
+
+
+@dataclass
+class Event:
+    """A CUDA event: a timestamped marker in a stream."""
+
+    name: str = "event"
+    recorded: bool = False       #: an event_record op referencing it exists
+    done_time: float | None = None
+    _waiters: list[Op] = field(default_factory=list, repr=False)
+
+    def elapsed_since(self, earlier: "Event") -> float:
+        """``cudaEventElapsedTime`` in seconds."""
+        if self.done_time is None or earlier.done_time is None:
+            raise StreamError("elapsed_since on incomplete events")
+        return self.done_time - earlier.done_time

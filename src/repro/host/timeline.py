@@ -1,0 +1,128 @@
+"""Device activity timeline — the simulator's nvvp.
+
+Every operation the discrete-event engine completes (kernels, copies,
+page migrations, graph launches) is logged as a :class:`TimelineEvent`.
+:meth:`Timeline.render_ascii` draws the events as horizontal bars, one
+lane per stream/engine, which is how the paper visualizes concurrent
+kernel execution (Fig. 6): with streams the kernel bars overlap, with
+serial launching they form a staircase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.units import fmt_time
+
+__all__ = ["TimelineEvent", "Timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One completed device operation."""
+
+    name: str
+    kind: str       #: "kernel" | "h2d" | "d2h" | "d2d" | "migrate" | "graph" | ...
+    lane: str       #: display lane, e.g. "stream 2" or "copy H2D"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """An append-only log of device activity."""
+
+    events: list[TimelineEvent] = field(default_factory=list)
+
+    def add(self, name: str, kind: str, lane: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"event {name!r} ends before it starts")
+        self.events.append(TimelineEvent(name, kind, lane, start, end))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(first start, last end) over all events; (0, 0) when empty."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    def lanes(self) -> list[str]:
+        """Distinct lanes in first-appearance order."""
+        seen: dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.lane, None)
+        return list(seen)
+
+    def busy_time(self, lane: str | None = None) -> float:
+        """Total busy time, merging overlapping events within a lane."""
+        evs = [e for e in self.events if lane is None or e.lane == lane]
+        if lane is None:
+            # across lanes, merge the union of intervals
+            pass
+        intervals = sorted((e.start, e.end) for e in evs)
+        total = 0.0
+        cur_s: float | None = None
+        cur_e = 0.0
+        for s, e in intervals:
+            if cur_s is None or s > cur_e:
+                if cur_s is not None:
+                    total += cur_e - cur_s
+                cur_s, cur_e = s, e
+            else:
+                cur_e = max(cur_e, e)
+        if cur_s is not None:
+            total += cur_e - cur_s
+        return total
+
+    def render_ascii(self, width: int = 72) -> str:
+        """Draw the timeline as per-lane bars of ``#`` characters.
+
+        Sub-character events render as ``|`` so short operations stay
+        visible; the footer shows the total span.
+        """
+        t0, t1 = self.span
+        if t1 <= t0:
+            return "(empty timeline)"
+        scale = width / (t1 - t0)
+        lanes = self.lanes()
+        label_w = max(len(s) for s in lanes) + 1
+        lines = []
+        for lane in lanes:
+            row = [" "] * width
+            for e in self.events:
+                if e.lane != lane:
+                    continue
+                a = int((e.start - t0) * scale)
+                b = int((e.end - t0) * scale)
+                a = min(a, width - 1)
+                b = min(max(b, a + 1), width)
+                ch = "#" if b - a > 1 else "|"
+                for i in range(a, b):
+                    row[i] = ch
+            lines.append(f"{lane.ljust(label_w)}|{''.join(row)}|")
+        lines.append(
+            f"{''.ljust(label_w)} 0 {'-' * max(width - len(fmt_time(t1 - t0)) - 6, 1)} "
+            f"{fmt_time(t1 - t0)}"
+        )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Per-lane busy-time summary table."""
+        t0, t1 = self.span
+        total = t1 - t0
+        out = [f"timeline span: {fmt_time(total)} ({len(self.events)} events)"]
+        for lane in self.lanes():
+            busy = self.busy_time(lane)
+            util = busy / total if total else 0.0
+            out.append(f"  {lane}: busy {fmt_time(busy)} ({util:.0%})")
+        return "\n".join(out)

@@ -1,0 +1,189 @@
+"""Unified (managed) memory: page-granularity on-demand migration.
+
+``cudaMallocManaged`` memory is accessible from both processors; the
+driver migrates data at page granularity when it is touched.  The
+performance consequence the paper studies (§V-C, Fig. 16) is *access
+density*: an explicit ``cudaMemcpy`` always moves whole buffers, while
+unified memory moves only the touched pages — a large win when a
+kernel strides sparsely through a big array, a small loss when it
+touches everything (page-fault machinery costs on top of the same
+bytes).
+
+Model
+-----
+Each managed allocation tracks per-page residency and dirtiness.  When
+a kernel launch touches non-resident pages, a migration operation is
+scheduled before the kernel:
+
+``time = ceil(groups / FAULT_CONCURRENCY) * fault_overhead
+       + bytes / (link_bandwidth * BANDWIDTH_EFFICIENCY)``
+
+where *groups* are maximal runs of contiguous pages (the driver
+services a fault by migrating a contiguous extent) and
+``FAULT_CONCURRENCY`` models the GPU's many simultaneous outstanding
+fault requests.  Host access after a kernel migrates written pages
+back the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.spec import GPUSpec, LinkSpec
+from repro.common.errors import MemoryError_
+from repro.mem.allocator import Allocation
+
+__all__ = [
+    "ManagedState",
+    "MigrationPlan",
+    "contiguous_groups",
+    "migration_time",
+    "UM_FAULT_CONCURRENCY",
+    "UM_BANDWIDTH_EFFICIENCY",
+]
+
+#: Outstanding page-fault groups the device/driver services in parallel.
+UM_FAULT_CONCURRENCY = 16
+#: Fraction of link bandwidth the paging machinery sustains (calibration).
+UM_BANDWIDTH_EFFICIENCY = 0.7
+
+
+def contiguous_groups(pages: np.ndarray) -> int:
+    """Number of maximal runs of consecutive page indices."""
+    if pages.size == 0:
+        return 0
+    p = np.sort(np.asarray(pages, dtype=np.int64))
+    return int(1 + (np.diff(p) > 1).sum())
+
+
+def migration_time(
+    n_pages: int,
+    n_groups: int,
+    page_bytes: int,
+    link: LinkSpec,
+    gpu: GPUSpec,
+) -> float:
+    """Simulated duration of migrating ``n_pages`` in ``n_groups`` runs."""
+    if n_pages == 0:
+        return 0.0
+    fault_rounds = -(-n_groups // UM_FAULT_CONCURRENCY)
+    xfer = n_pages * page_bytes / (link.pinned_bandwidth * UM_BANDWIDTH_EFFICIENCY)
+    return fault_rounds * gpu.um_fault_overhead_s + xfer
+
+
+@dataclass
+class MigrationPlan:
+    """Pages to move for one fault episode."""
+
+    direction: str            #: "h2d" or "d2h"
+    n_pages: int
+    n_groups: int
+    nbytes: int
+    duration: float
+
+    @property
+    def empty(self) -> bool:
+        return self.n_pages == 0
+
+
+@dataclass
+class ManagedState:
+    """Residency/dirtiness bookkeeping for one managed allocation.
+
+    ``read_mostly`` models ``cudaMemAdviseSetReadMostly`` (the paper's
+    stated future-work optimization): read-duplicated pages stay valid
+    on *both* processors, so a host read does not invalidate the device
+    copy and alternating host/device reads stop re-migrating.  Device
+    writes to advised pages collapse the duplication for those pages
+    (they behave like ordinary dirty pages).
+    """
+
+    alloc: Allocation
+    page_bytes: int
+    read_mostly: bool = False
+    on_device: np.ndarray = field(init=False)   #: bool per page
+    device_dirty: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.alloc.managed:
+            raise MemoryError_("ManagedState over a non-managed allocation")
+        n = self.n_pages
+        self.on_device = np.zeros(n, dtype=bool)
+        self.device_dirty = np.zeros(n, dtype=bool)
+
+    @property
+    def n_pages(self) -> int:
+        return -(-self.alloc.nbytes // self.page_bytes)
+
+    def _check(self, pages: np.ndarray) -> np.ndarray:
+        p = np.asarray(pages, dtype=np.int64)
+        if p.size and (p.min() < 0 or p.max() >= self.n_pages):
+            raise MemoryError_(
+                f"page index out of range (allocation has {self.n_pages} pages)"
+            )
+        return p
+
+    def plan_device_access(
+        self, read_pages: np.ndarray, write_pages: np.ndarray,
+        link: LinkSpec, gpu: GPUSpec,
+    ) -> MigrationPlan:
+        """Migration needed before a kernel touches these pages.
+
+        Write-touched pages become device-dirty; pages already resident
+        move nothing.
+        """
+        rp = self._check(read_pages)
+        wp = self._check(write_pages)
+        touched = np.union1d(rp, wp)
+        missing = touched[~self.on_device[touched]]
+        n_groups = contiguous_groups(missing)
+        nbytes = int(missing.size) * self.page_bytes
+        self.on_device[touched] = True
+        self.device_dirty[wp] = True
+        return MigrationPlan(
+            direction="h2d",
+            n_pages=int(missing.size),
+            n_groups=n_groups,
+            nbytes=nbytes,
+            duration=migration_time(missing.size, n_groups, self.page_bytes, link, gpu),
+        )
+
+    def plan_host_access(self, link: LinkSpec, gpu: GPUSpec) -> MigrationPlan:
+        """Migration needed for the host to read the allocation.
+
+        Device-dirty pages come back; clean device-resident pages are
+        downgraded — unless the allocation is advised read-mostly, in
+        which case clean pages stay duplicated on the device and the
+        next launch faults nothing back over.
+        """
+        dirty = np.flatnonzero(self.device_dirty)
+        n_groups = contiguous_groups(dirty)
+        nbytes = int(dirty.size) * self.page_bytes
+        self.device_dirty[:] = False
+        if self.read_mostly:
+            self.on_device[dirty] = False  # written pages lose duplication
+        else:
+            self.on_device[:] = False
+        return MigrationPlan(
+            direction="d2h",
+            n_pages=int(dirty.size),
+            n_groups=n_groups,
+            nbytes=nbytes,
+            duration=migration_time(dirty.size, n_groups, self.page_bytes, link, gpu),
+        )
+
+    def prefetch_all(self, link: LinkSpec, gpu: GPUSpec) -> MigrationPlan:
+        """``cudaMemPrefetchAsync`` of the whole allocation to the device:
+        one contiguous group, bulk bandwidth."""
+        missing = np.flatnonzero(~self.on_device)
+        self.on_device[:] = True
+        nbytes = int(missing.size) * self.page_bytes
+        return MigrationPlan(
+            direction="h2d",
+            n_pages=int(missing.size),
+            n_groups=1 if missing.size else 0,
+            nbytes=nbytes,
+            duration=migration_time(missing.size, min(1, missing.size), self.page_bytes, link, gpu),
+        )

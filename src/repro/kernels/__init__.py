@@ -1,0 +1,78 @@
+"""Device kernels used by the microbenchmarks and examples."""
+
+from repro.kernels.axpy import (
+    axpy_1per_thread,
+    axpy_aligned,
+    axpy_block,
+    axpy_cyclic,
+    axpy_misaligned,
+    axpy_shared_async,
+    axpy_shared_staged,
+    axpy_strided,
+)
+from repro.kernels.matadd import (
+    matadd_constant_scatter,
+    matadd_global,
+    matadd_ldg,
+    matadd_tex1d,
+    matadd_tex2d,
+    saxpy_const_coeffs,
+)
+from repro.kernels.matmul import TILE, matmul_grid_for, matmul_naive, matmul_tiled
+from repro.kernels.mandelbrot import (
+    MAX_DWELL_DEFAULT,
+    dwell_host_reference,
+    fill_indexed,
+    mandel_escape,
+    mandel_points,
+)
+from repro.kernels.reduction import (
+    reduce_interleaved_bc,
+    reduce_sequential,
+    reduce_shuffle,
+)
+from repro.kernels.spmv import spmv_csc, spmv_csr, spmv_dense_row
+from repro.kernels.stencil import (
+    STENCIL_TILE,
+    stencil_global,
+    stencil_grid_for,
+    stencil_host_reference,
+    stencil_shared,
+)
+
+__all__ = [
+    "spmv_csc",
+    "STENCIL_TILE",
+    "stencil_global",
+    "stencil_grid_for",
+    "stencil_host_reference",
+    "stencil_shared",
+    "axpy_1per_thread",
+    "axpy_aligned",
+    "axpy_block",
+    "axpy_cyclic",
+    "axpy_misaligned",
+    "axpy_shared_async",
+    "axpy_shared_staged",
+    "axpy_strided",
+    "matadd_constant_scatter",
+    "matadd_global",
+    "matadd_ldg",
+    "matadd_tex1d",
+    "matadd_tex2d",
+    "saxpy_const_coeffs",
+    "TILE",
+    "matmul_grid_for",
+    "matmul_naive",
+    "matmul_tiled",
+    "MAX_DWELL_DEFAULT",
+    "dwell_host_reference",
+    "fill_indexed",
+    "mandel_escape",
+    "mandel_points",
+    "reduce_interleaved_bc",
+    "reduce_sequential",
+    "reduce_shuffle",
+    "spmv_csr",
+    "spmv_dense_row",
+]

@@ -1,0 +1,117 @@
+"""Matrix-addition kernels (paper §V-B, ReadOnlyMem / Fig. 15).
+
+``C = A + B`` over ``n x n`` float32 matrices, with the read-only
+operands placed in different memory spaces:
+
+* :data:`matadd_global` — ordinary global loads.  On Kepler these
+  bypass the L1 and pay the slow uncached path;
+* :data:`matadd_ldg` — ``__ldg`` loads through the read-only data
+  cache (no layout change);
+* :data:`matadd_tex1d` — operands bound as 1-D (linear) textures;
+* :data:`matadd_tex2d` — operands bound as 2-D block-linear textures,
+  additionally robust to 2-D-strided access patterns.
+
+A separate :data:`saxpy_const_coeffs` demonstrates the *correct* use of
+constant memory (warp-uniform reads of a small coefficient table) and
+:data:`matadd_constant_scatter` the anti-pattern (per-lane scattered
+reads that serialize on the constant bank).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.kernel import kernel
+
+__all__ = [
+    "matadd_global",
+    "matadd_ldg",
+    "matadd_tex1d",
+    "matadd_tex2d",
+    "saxpy_const_coeffs",
+    "matadd_constant_scatter",
+]
+
+
+@kernel
+def matadd_global(ctx, a, b, c, n):
+    """Row-major matrix add from global memory (one element/thread)."""
+    x = ctx.block_idx_x * ctx.block.x + ctx.thread_idx_x
+    y = ctx.block_idx_y * ctx.block.y + ctx.thread_idx_y
+    i = y * n + x
+
+    def body():
+        ctx.store(c, i, ctx.load(a, i) + ctx.load(b, i))
+
+    ctx.if_active((x < n) & (y < n), body)
+
+
+@kernel
+def matadd_ldg(ctx, a, b, c, n):
+    """Matrix add with ``__ldg`` read-only loads."""
+    x = ctx.block_idx_x * ctx.block.x + ctx.thread_idx_x
+    y = ctx.block_idx_y * ctx.block.y + ctx.thread_idx_y
+    i = y * n + x
+
+    def body():
+        ctx.store(c, i, ctx.load_readonly(a, i) + ctx.load_readonly(b, i))
+
+    ctx.if_active((x < n) & (y < n), body)
+
+
+@kernel
+def matadd_tex1d(ctx, tex_a, tex_b, c, n):
+    """Matrix add fetching the operands as 1-D textures."""
+    x = ctx.block_idx_x * ctx.block.x + ctx.thread_idx_x
+    y = ctx.block_idx_y * ctx.block.y + ctx.thread_idx_y
+    i = y * n + x
+
+    def body():
+        ctx.store(c, i, ctx.tex1d(tex_a, i) + ctx.tex1d(tex_b, i))
+
+    ctx.if_active((x < n) & (y < n), body)
+
+
+@kernel
+def matadd_tex2d(ctx, tex_a, tex_b, c, n):
+    """Matrix add fetching the operands as 2-D block-linear textures."""
+    x = ctx.block_idx_x * ctx.block.x + ctx.thread_idx_x
+    y = ctx.block_idx_y * ctx.block.y + ctx.thread_idx_y
+    i = y * n + x
+
+    def body():
+        ctx.store(c, i, ctx.tex2d(tex_a, x, y) + ctx.tex2d(tex_b, x, y))
+
+    ctx.if_active((x < n) & (y < n), body)
+
+
+@kernel
+def saxpy_const_coeffs(ctx, x, y, coeffs, n):
+    """``y = c0*x + c1`` with the coefficients in constant memory.
+
+    Every lane reads the same address, so the constant cache broadcasts
+    at full speed — the intended constant-memory use case.
+    """
+    i = ctx.global_thread_id()
+
+    def body():
+        c0 = ctx.load_constant(coeffs, 0)
+        c1 = ctx.load_constant(coeffs, 1)
+        ctx.store(y, i, c0 * ctx.load(x, i) + c1)
+
+    ctx.if_active(i < n, body)
+
+
+@kernel
+def matadd_constant_scatter(ctx, a_const, b, c, n):
+    """Anti-pattern: per-lane scattered reads from constant memory.
+
+    Each lane reads a different constant address, so the broadcast bank
+    replays the access 32 times per warp.
+    """
+    i = ctx.global_thread_id()
+
+    def body():
+        ctx.store(c, i, ctx.load_constant(a_const, i) + ctx.load(b, i))
+
+    ctx.if_active(i < n, body)

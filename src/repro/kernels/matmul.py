@@ -1,0 +1,65 @@
+"""Matrix-multiplication kernels (paper §IV-A, Shmem).
+
+Square ``C = A @ B`` with 2-D thread blocks; ``TILE x TILE`` tiles:
+
+* :data:`matmul_naive` reads every operand element straight from global
+  memory: each thread's dot product re-reads a full row of ``A`` and
+  column of ``B``;
+* :data:`matmul_tiled` stages ``TILE x TILE`` tiles of both operands in
+  shared memory, cutting global traffic by the tile factor — the
+  classic CUDA-Samples optimization the paper cites (~20-25% on V100
+  because caches already help the naive kernel).
+
+Matrix order ``n`` must be a multiple of :data:`TILE` (the paper's
+2048x2048 case is; this keeps the kernels free of edge-case masking,
+like the CUDA sample).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import LaunchConfigError
+from repro.simt.kernel import kernel
+
+__all__ = ["TILE", "matmul_naive", "matmul_tiled", "matmul_grid_for"]
+
+TILE = 16
+
+
+def matmul_grid_for(n: int) -> tuple[tuple[int, int], tuple[int, int]]:
+    """(grid, block) pair for an ``n x n`` matmul launch."""
+    if n % TILE:
+        raise LaunchConfigError(f"matrix order {n} not a multiple of TILE={TILE}")
+    return (n // TILE, n // TILE), (TILE, TILE)
+
+
+@kernel(registers=32)
+def matmul_naive(ctx, a, b, c, n):
+    """Global-memory-only matmul: one output element per thread."""
+    row = ctx.block_idx_y * ctx.block.y + ctx.thread_idx_y
+    col = ctx.block_idx_x * ctx.block.x + ctx.thread_idx_x
+    acc = ctx.zeros(np.float32)
+    for k in ctx.range_uniform(n):
+        acc = ctx.fma(ctx.load(a, row * n + k), ctx.load(b, k * n + col), acc)
+    ctx.store(c, row * n + col, acc)
+
+
+@kernel(registers=40)
+def matmul_tiled(ctx, a, b, c, n):
+    """Shared-memory tiled matmul (CUDA Samples ``matrixMul``)."""
+    ty = ctx.thread_idx_y
+    tx = ctx.thread_idx_x
+    row = ctx.block_idx_y * TILE + ty
+    col = ctx.block_idx_x * TILE + tx
+    a_tile = ctx.shared_array((TILE, TILE), np.float32)
+    b_tile = ctx.shared_array((TILE, TILE), np.float32)
+    acc = ctx.zeros(np.float32)
+    for t in ctx.range_uniform(n // TILE):
+        a_tile.store((ty, tx), ctx.load(a, row * n + (t * TILE) + tx))
+        b_tile.store((ty, tx), ctx.load(b, (t * TILE + ty) * n + col))
+        ctx.syncthreads()
+        for k in ctx.range_uniform(TILE):
+            acc = ctx.fma(a_tile.load((ty, k)), b_tile.load((k, tx)), acc)
+        ctx.syncthreads()
+    ctx.store(c, row * n + col, acc)

@@ -1,0 +1,112 @@
+"""Block reduction kernels (paper Fig. 12 and §IV-E).
+
+Three variants of per-block sum reduction, each writing one partial sum
+per block to ``r[blockIdx.x]``:
+
+* :data:`reduce_interleaved_bc` — interleaved addressing with a doubling
+  stride: iteration *s* makes lanes hit the same bank ``2s`` apart, a
+  growing bank conflict (the paper's ``sum_bc``);
+* :data:`reduce_sequential` — sequential addressing, conflict-free
+  (the paper's ``sum``);
+* :data:`reduce_shuffle` — sequential addressing down to warp size,
+  then ``__shfl_down`` within the warp: fewer barriers and no shared
+  traffic in the tail (paper Fig. 11).
+
+The block size must be a power of two (as in the paper's kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import LaunchConfigError
+from repro.simt.kernel import kernel
+
+__all__ = ["reduce_interleaved_bc", "reduce_sequential", "reduce_shuffle"]
+
+
+def _check_pow2(bs: int) -> None:
+    if bs & (bs - 1):
+        raise LaunchConfigError(f"reduction needs a power-of-two block, got {bs}")
+
+
+@kernel
+def reduce_interleaved_bc(ctx, x, r):
+    """Interleaved-addressing reduction with bank conflicts (``sum_bc``)."""
+    bs = ctx.block.x
+    _check_pow2(bs)
+    cache = ctx.shared_array(bs, np.float32)
+    tid = ctx.global_thread_id()
+    cid = ctx.thread_idx_x
+    cache.store(cid, ctx.load(x, tid))
+    ctx.syncthreads()
+    i = 1
+    while i < bs:
+        index = 2 * i * cid
+        stride = i
+
+        def body(index=index, stride=stride):
+            cache.store(index, cache.load(index) + cache.load(index + stride))
+
+        ctx.if_active(index < bs, body)
+        ctx.syncthreads()
+        i *= 2
+    ctx.if_active(cid == 0, lambda: ctx.store(r, ctx.block_idx_x, cache.load(cid)))
+
+
+@kernel
+def reduce_sequential(ctx, x, r):
+    """Sequential-addressing reduction, conflict-free (``sum``)."""
+    bs = ctx.block.x
+    _check_pow2(bs)
+    cache = ctx.shared_array(bs, np.float32)
+    tid = ctx.global_thread_id()
+    cid = ctx.thread_idx_x
+    cache.store(cid, ctx.load(x, tid))
+    ctx.syncthreads()
+    i = bs // 2
+    while i > 0:
+        stride = i
+
+        def body(stride=stride):
+            cache.store(cid, cache.load(cid) + cache.load(cid + stride))
+
+        ctx.if_active(cid < stride, body)
+        ctx.syncthreads()
+        i //= 2
+    ctx.if_active(cid == 0, lambda: ctx.store(r, ctx.block_idx_x, cache.load(cid)))
+
+
+@kernel
+def reduce_shuffle(ctx, x, r):
+    """Reduction finishing inside the warp with ``__shfl_down_sync``.
+
+    Shared memory and ``__syncthreads`` are used only down to one warp
+    per block; the last five steps exchange registers directly
+    (paper §IV-E).
+    """
+    bs = ctx.block.x
+    _check_pow2(bs)
+    warp = ctx.warp_size
+    cache = ctx.shared_array(max(bs, warp), np.float32)
+    tid = ctx.global_thread_id()
+    cid = ctx.thread_idx_x
+    cache.store(cid, ctx.load(x, tid))
+    ctx.syncthreads()
+    i = bs // 2
+    while i >= warp:
+        stride = i
+
+        def body(stride=stride):
+            cache.store(cid, cache.load(cid) + cache.load(cid + stride))
+
+        ctx.if_active(cid < stride, body)
+        ctx.syncthreads()
+        i //= 2
+    # One warp left: shuffle the rest without shared memory or barriers.
+    val = cache.load(ctx.min(cid, warp - 1))
+    delta = warp // 2
+    while delta > 0:
+        val = val + ctx.shfl_down(val, delta)
+        delta //= 2
+    ctx.if_active(cid == 0, lambda: ctx.store(r, ctx.block_idx_x, val))

@@ -1,0 +1,79 @@
+"""Sparse matrix-vector multiplication kernels (paper §V-D, Fig. 17).
+
+``y = A @ x`` with one row per thread, in two storage formats:
+
+* :data:`spmv_dense_row` — the matrix ships and computes in dense
+  row-major form: every zero is transferred and multiplied, and the
+  row-per-thread loop makes warp lanes stride ``n`` elements apart
+  (uncoalesced, the Fig. 7c pathology);
+* :data:`spmv_csr` — the matrix ships as CSR; each thread walks its
+  row's non-zeros.  Uneven row lengths cause some divergence, but both
+  the transfer volume and the flop count shrink by the density factor.
+"""
+
+from __future__ import annotations
+
+from repro.simt.kernel import kernel
+
+__all__ = ["spmv_dense_row", "spmv_csr", "spmv_csc"]
+
+
+@kernel
+def spmv_dense_row(ctx, a, x, y, n):
+    """Dense row-major SpMV, one row per thread."""
+    import numpy as np
+
+    row = ctx.global_thread_id()
+
+    def body():
+        acc = ctx.zeros(np.float32)
+        for k in ctx.range_uniform(n):
+            acc = ctx.fma(ctx.load(a, row * n + k), ctx.load(x, k), acc)
+        ctx.store(y, row, acc)
+
+    ctx.if_active(row < n, body)
+
+
+@kernel
+def spmv_csc(ctx, values, row_idx, col_ptr, x, y, n):
+    """CSC SpMV, one column per thread, accumulating with atomics.
+
+    Demonstrates why format choice matters beyond transfer volume
+    (paper §IV-B): the column-major layout forces scattered atomic
+    accumulation into ``y``, so CSR is the right format for ``A @ x``
+    and CSC for ``A.T @ x`` — "the right combination of CSR and CSC".
+    ``y`` must be zero-initialised by the caller.
+    """
+    import numpy as np
+
+    col = ctx.global_thread_id()
+
+    def body():
+        start = ctx.load(col_ptr, col)
+        stop = ctx.load(col_ptr, col + 1)
+        xv = ctx.load(x, col)
+        for j in ctx.strided_range(start, stop, 1):
+            row = ctx.load(row_idx, j)
+            ctx.atomic_add(y, row, ctx.load(values, j) * xv)
+
+    ctx.if_active(col < n, body)
+
+
+@kernel
+def spmv_csr(ctx, values, col_idx, row_ptr, x, y, n):
+    """CSR SpMV, one row per thread (scalar CSR kernel)."""
+    import numpy as np
+
+    row = ctx.global_thread_id()
+
+    def body():
+        start = ctx.load(row_ptr, row)
+        stop = ctx.load(row_ptr, row + 1)
+        acc = ctx.zeros(np.float32)
+        for j in ctx.strided_range(start, stop, 1):
+            col = ctx.load(col_idx, j)
+            contrib = ctx.load(values, j) * ctx.load(x, col)
+            acc = ctx.masked(acc, acc + contrib)
+        ctx.store(y, row, acc)
+
+    ctx.if_active(row < n, body)

@@ -1,0 +1,127 @@
+"""2-D 5-point stencil kernels (Jacobi step).
+
+The paper's related work (§VI-B) leans on stencils — Micikevicius's 3-D
+finite difference is the canonical shared-memory + async-copy showcase.
+These kernels provide that workload at 2-D scale for the simulator:
+
+* :data:`stencil_global` — every neighbour read goes to global memory;
+  interior points are read up to five times per sweep, so the kernel
+  leans entirely on the caches;
+* :data:`stencil_shared` — each block stages its ``(TILE+2)^2`` halo
+  tile in shared memory once and serves all five reads from SRAM, the
+  classic optimization.
+
+Both compute ``out[y, x] = (c[y,x] + up + down + left + right) / 5``
+over the interior, copying the boundary unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import LaunchConfigError
+from repro.simt.kernel import kernel
+
+__all__ = ["STENCIL_TILE", "stencil_global", "stencil_shared", "stencil_host_reference", "stencil_grid_for"]
+
+STENCIL_TILE = 16
+
+
+def stencil_grid_for(n: int) -> tuple[tuple[int, int], tuple[int, int]]:
+    """(grid, block) covering an ``n x n`` field with TILE x TILE blocks."""
+    if n % STENCIL_TILE:
+        raise LaunchConfigError(
+            f"field size {n} not a multiple of tile {STENCIL_TILE}"
+        )
+    t = n // STENCIL_TILE
+    return (t, t), (STENCIL_TILE, STENCIL_TILE)
+
+
+def stencil_host_reference(field: np.ndarray) -> np.ndarray:
+    """One Jacobi sweep on the host (float32 arithmetic order-matched)."""
+    f = field.astype(np.float32)
+    out = f.copy()
+    acc = f[1:-1, 1:-1] + f[:-2, 1:-1]
+    acc = acc + f[2:, 1:-1]
+    acc = acc + f[1:-1, :-2]
+    acc = acc + f[1:-1, 2:]
+    out[1:-1, 1:-1] = acc * np.float32(0.2)
+    return out
+
+
+@kernel
+def stencil_global(ctx, inp, out, n):
+    """5-point stencil with all reads from global memory."""
+    x = ctx.block_idx_x * ctx.block.x + ctx.thread_idx_x
+    y = ctx.block_idx_y * ctx.block.y + ctx.thread_idx_y
+    i = y * n + x
+
+    interior = (x > 0) & (x < n - 1) & (y > 0) & (y < n - 1)
+
+    def inner():
+        acc = ctx.load(inp, i)
+        acc = acc + ctx.load(inp, i - n)
+        acc = acc + ctx.load(inp, i + n)
+        acc = acc + ctx.load(inp, i - 1)
+        acc = acc + ctx.load(inp, i + 1)
+        ctx.store(out, i, acc * 0.2)
+
+    def border():
+        ctx.store(out, i, ctx.load(inp, i))
+
+    in_bounds = (x < n) & (y < n)
+
+    def body():
+        ctx.branch(interior, inner, border)
+
+    ctx.if_active(in_bounds, body)
+
+
+@kernel(registers=40)
+def stencil_shared(ctx, inp, out, n):
+    """5-point stencil staging an (TILE+2)^2 halo tile in shared memory."""
+    t = STENCIL_TILE
+    tile = ctx.shared_array((t + 2, t + 2), np.float32)
+    tx = ctx.thread_idx_x
+    ty = ctx.thread_idx_y
+    x = ctx.block_idx_x * t + tx
+    y = ctx.block_idx_y * t + ty
+
+    def clamp_load(xx, yy):
+        cx = ctx.min(ctx.max(xx, 0), n - 1)
+        cy = ctx.min(ctx.max(yy, 0), n - 1)
+        return ctx.load(inp, cy * n + cx)
+
+    # centre cells
+    tile.store((ty + 1, tx + 1), clamp_load(x, y))
+    # halo: edge threads fetch their outside neighbour (clamped)
+    ctx.if_active(tx == 0, lambda: tile.store((ty + 1, tx), clamp_load(x - 1, y)))
+    ctx.if_active(
+        tx == t - 1, lambda: tile.store((ty + 1, tx + 2), clamp_load(x + 1, y))
+    )
+    ctx.if_active(ty == 0, lambda: tile.store((ty, tx + 1), clamp_load(x, y - 1)))
+    ctx.if_active(
+        ty == t - 1, lambda: tile.store((ty + 2, tx + 1), clamp_load(x, y + 1))
+    )
+    ctx.syncthreads()
+
+    interior = (x > 0) & (x < n - 1) & (y > 0) & (y < n - 1)
+    i = y * n + x
+
+    def inner():
+        acc = tile.load((ty + 1, tx + 1))
+        acc = acc + tile.load((ty, tx + 1))
+        acc = acc + tile.load((ty + 2, tx + 1))
+        acc = acc + tile.load((ty + 1, tx))
+        acc = acc + tile.load((ty + 1, tx + 2))
+        ctx.store(out, i, acc * 0.2)
+
+    def border():
+        ctx.store(out, i, tile.load((ty + 1, tx + 1)))
+
+    in_bounds = (x < n) & (y < n)
+
+    def body():
+        ctx.branch(interior, inner, border)
+
+    ctx.if_active(in_bounds, body)

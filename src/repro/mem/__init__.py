@@ -1,0 +1,34 @@
+"""Device memory system: allocator, arrays, coalescing, banks, caches."""
+
+from repro.mem.allocator import DEFAULT_ALIGNMENT, Allocation, DeviceAllocator
+from repro.mem.banks import BankConflictSummary, analyze_shared_access
+from repro.mem.buffer import DeviceArray
+from repro.mem.cache import LRUCache, simulate_stream
+from repro.mem.coalesce import (
+    AccessSummary,
+    analyze_access,
+    lanes_to_warps,
+    warp_distinct_counts,
+)
+from repro.mem.hierarchy import TrafficReport, resolve_traffic
+from repro.mem.trace import CACHE_WINDOW_WARPS, AccessRecord, AccessTrace
+
+__all__ = [
+    "DEFAULT_ALIGNMENT",
+    "Allocation",
+    "DeviceAllocator",
+    "BankConflictSummary",
+    "analyze_shared_access",
+    "DeviceArray",
+    "LRUCache",
+    "simulate_stream",
+    "AccessSummary",
+    "analyze_access",
+    "lanes_to_warps",
+    "warp_distinct_counts",
+    "TrafficReport",
+    "resolve_traffic",
+    "CACHE_WINDOW_WARPS",
+    "AccessRecord",
+    "AccessTrace",
+]

@@ -1,0 +1,209 @@
+"""Byte-addressed device memory allocator.
+
+Real CUDA allocations matter to performance through their *addresses*:
+``cudaMalloc`` returns 256-byte-aligned pointers, so a warp's accesses
+line up with 128-byte transaction segments, while pointer arithmetic
+(or a deliberately offset allocation) produces the misaligned accesses
+the MemAlign microbenchmark studies.  The simulator therefore gives
+every allocation a concrete byte address in a flat device address
+space, and the coalescing/caching analyses operate on those addresses.
+
+The allocator is a first-fit free-list allocator: simple, deterministic,
+and able to exercise fragmentation behaviour in tests.  Each allocation
+carries its own backing :class:`numpy.ndarray` of bytes; the address
+space is purely a modelling construct, so no giant arena buffer is ever
+materialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import AllocationError, InvalidAddressError
+
+__all__ = ["Allocation", "DeviceAllocator", "DEFAULT_ALIGNMENT"]
+
+#: cudaMalloc guarantees at least 256-byte alignment.
+DEFAULT_ALIGNMENT = 256
+
+
+@dataclass
+class Allocation:
+    """A live device allocation.
+
+    Attributes
+    ----------
+    addr:
+        First byte address of the usable region.
+    nbytes:
+        Usable size in bytes.
+    data:
+        Backing byte buffer (``uint8`` array of length ``nbytes``).
+    managed:
+        True for unified-memory allocations (``cudaMallocManaged``),
+        which participate in page-migration accounting instead of
+        explicit copies.
+    """
+
+    addr: int
+    nbytes: int
+    data: np.ndarray
+    managed: bool = False
+    freed: bool = field(default=False, repr=False)
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address."""
+        return self.addr + self.nbytes
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+
+class DeviceAllocator:
+    """First-fit free-list allocator over a flat device address space.
+
+    Parameters
+    ----------
+    capacity:
+        Total device memory in bytes; allocating past it raises
+        :class:`AllocationError`, like ``cudaErrorMemoryAllocation``.
+    base:
+        Address of the first allocatable byte.  Non-zero by default so
+        that address 0 can never be a valid pointer.
+    """
+
+    def __init__(self, capacity: int, *, base: int = 1 << 20) -> None:
+        if capacity <= 0:
+            raise AllocationError("device capacity must be positive")
+        self._base = base
+        self._capacity = int(capacity)
+        # Free list of [start, end) holes, sorted by start.
+        self._holes: list[tuple[int, int]] = [(base, base + capacity)]
+        self._live: dict[int, Allocation] = {}
+        self._bytes_in_use = 0
+        self._peak_in_use = 0
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._bytes_in_use
+
+    @property
+    def peak_bytes_in_use(self) -> int:
+        return self._peak_in_use
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    # -- allocation ------------------------------------------------------
+    def malloc(
+        self,
+        nbytes: int,
+        *,
+        align: int = DEFAULT_ALIGNMENT,
+        offset: int = 0,
+        managed: bool = False,
+    ) -> Allocation:
+        """Allocate ``nbytes`` at an address ``≡ offset (mod align)``.
+
+        ``offset`` deliberately mis-aligns the returned address relative
+        to ``align`` — the MemAlign microbenchmark uses ``offset=4`` to
+        reproduce the paper's unaligned allocation.
+        """
+        if nbytes <= 0:
+            raise AllocationError(f"allocation size must be positive, got {nbytes}")
+        if align <= 0 or align & (align - 1):
+            raise AllocationError(f"alignment must be a power of two, got {align}")
+        if not 0 <= offset < align:
+            raise AllocationError(
+                f"offset must satisfy 0 <= offset < align, got {offset}/{align}"
+            )
+        for i, (start, end) in enumerate(self._holes):
+            addr = _round_up(start - offset, align) + offset
+            if addr < start:
+                addr += align
+            if addr + nbytes <= end:
+                self._carve(i, start, end, addr, addr + nbytes)
+                alloc = Allocation(
+                    addr=addr,
+                    nbytes=int(nbytes),
+                    data=np.zeros(int(nbytes), dtype=np.uint8),
+                    managed=managed,
+                )
+                self._live[addr] = alloc
+                self._bytes_in_use += alloc.nbytes
+                self._peak_in_use = max(self._peak_in_use, self._bytes_in_use)
+                return alloc
+        raise AllocationError(
+            f"out of device memory: requested {nbytes} bytes, "
+            f"{self._capacity - self._bytes_in_use} free (fragmented)"
+        )
+
+    def free(self, alloc: Allocation) -> None:
+        """Release an allocation; double frees raise."""
+        if alloc.freed or self._live.get(alloc.addr) is not alloc:
+            raise InvalidAddressError(
+                f"free of unknown or already-freed allocation at {alloc.addr:#x}"
+            )
+        del self._live[alloc.addr]
+        alloc.freed = True
+        self._bytes_in_use -= alloc.nbytes
+        self._insert_hole(alloc.addr, alloc.end)
+
+    # -- address resolution ----------------------------------------------
+    def find(self, addr: int) -> Allocation:
+        """Return the live allocation containing ``addr``.
+
+        Raises :class:`InvalidAddressError` for wild pointers, like a
+        device-side segfault would surface through ``cuda-memcheck``.
+        """
+        # Live dict is keyed by base address; do a bisect over sorted keys.
+        for alloc in self._live.values():
+            if alloc.contains(addr):
+                return alloc
+        raise InvalidAddressError(f"address {addr:#x} is not in any live allocation")
+
+    def check_range(self, addr: int, nbytes: int) -> Allocation:
+        """Validate that ``[addr, addr+nbytes)`` lies in one allocation."""
+        alloc = self.find(addr)
+        if addr + nbytes > alloc.end:
+            raise InvalidAddressError(
+                f"range [{addr:#x}, {addr + nbytes:#x}) overruns allocation "
+                f"[{alloc.addr:#x}, {alloc.end:#x})"
+            )
+        return alloc
+
+    # -- internals ---------------------------------------------------------
+    def _carve(self, i: int, start: int, end: int, astart: int, aend: int) -> None:
+        """Split hole ``i`` around the carved-out range [astart, aend)."""
+        new: list[tuple[int, int]] = []
+        if astart > start:
+            new.append((start, astart))
+        if aend < end:
+            new.append((aend, end))
+        self._holes[i : i + 1] = new
+
+    def _insert_hole(self, start: int, end: int) -> None:
+        """Insert a hole, merging with adjacent holes."""
+        holes = self._holes
+        lo = 0
+        while lo < len(holes) and holes[lo][1] < start:
+            lo += 1
+        hi = lo
+        while hi < len(holes) and holes[hi][0] <= end:
+            start = min(start, holes[hi][0])
+            end = max(end, holes[hi][1])
+            hi += 1
+        holes[lo:hi] = [(start, end)]
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)

@@ -1,0 +1,146 @@
+"""Typed views over device allocations.
+
+A :class:`DeviceArray` is the simulator's analogue of a device pointer
+plus its element type: it couples a live :class:`Allocation` with a
+dtype and shape, exposes NumPy views for functional execution, and maps
+element indices to *byte addresses* for the coalescing and cache
+analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import InvalidAddressError
+from repro.mem.allocator import Allocation
+
+__all__ = ["DeviceArray"]
+
+
+class DeviceArray:
+    """A dtype/shape view over (part of) a device allocation.
+
+    Parameters
+    ----------
+    alloc:
+        Backing allocation.
+    dtype, shape:
+        Element type and logical shape (C order).
+    byte_offset:
+        Offset of element 0 from ``alloc.addr`` — pointer arithmetic.
+    """
+
+    def __init__(
+        self,
+        alloc: Allocation,
+        dtype: np.dtype | type,
+        shape: tuple[int, ...] | int,
+        *,
+        byte_offset: int = 0,
+    ) -> None:
+        self.alloc = alloc
+        self.dtype = np.dtype(dtype)
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in self.shape):
+            raise InvalidAddressError(f"negative dimension in shape {self.shape}")
+        self.byte_offset = int(byte_offset)
+        nbytes = self.size * self.itemsize
+        if self.byte_offset < 0 or self.byte_offset + nbytes > alloc.nbytes:
+            raise InvalidAddressError(
+                f"view of {nbytes} bytes at offset {self.byte_offset} overruns "
+                f"allocation of {alloc.nbytes} bytes"
+            )
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.itemsize
+
+    @property
+    def base_addr(self) -> int:
+        """Device byte address of element 0."""
+        return self.alloc.addr + self.byte_offset
+
+    # -- functional data access --------------------------------------------
+    @property
+    def view(self) -> np.ndarray:
+        """Writable NumPy view of the array contents (simulator side)."""
+        start = self.byte_offset
+        stop = start + self.nbytes
+        return self.alloc.data[start:stop].view(self.dtype).reshape(self.shape)
+
+    def to_host(self) -> np.ndarray:
+        """Copy the contents out as a fresh host array."""
+        return self.view.copy()
+
+    def fill_from(self, host: np.ndarray) -> None:
+        """Copy host data in (functional part of ``cudaMemcpy`` H2D)."""
+        host = np.asarray(host, dtype=self.dtype)
+        if host.shape != self.shape:
+            raise InvalidAddressError(
+                f"host shape {host.shape} does not match device shape {self.shape}"
+            )
+        self.view[...] = host
+
+    # -- address arithmetic ------------------------------------------------
+    def addr_of(self, flat_index: np.ndarray | int) -> np.ndarray:
+        """Byte address(es) of flat element index(es).
+
+        Out-of-range indices raise — this is the simulator's bounds
+        check, catching what ``cuda-memcheck`` would on hardware.
+        """
+        idx = np.asarray(flat_index, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= max(self.size, 1)):
+            bad = idx[(idx < 0) | (idx >= self.size)]
+            raise InvalidAddressError(
+                f"index {bad.flat[0]} out of range for array of {self.size} elements"
+            )
+        return self.base_addr + idx * self.itemsize
+
+    def slice(self, start: int, length: int) -> "DeviceArray":
+        """A view of elements ``[start, start+length)`` — device pointer
+        arithmetic, as used by chunked stream pipelines."""
+        if start < 0 or length < 0 or start + length > self.size:
+            raise InvalidAddressError(
+                f"slice [{start}, {start + length}) outside array of {self.size}"
+            )
+        return DeviceArray(
+            self.alloc,
+            self.dtype,
+            (length,),
+            byte_offset=self.byte_offset + start * self.itemsize,
+        )
+
+    def reshape(self, *shape: int) -> "DeviceArray":
+        """A new view with a different shape over the same bytes."""
+        if len(shape) == 1 and isinstance(shape[0], tuple):
+            shape = shape[0]
+        new = DeviceArray(self.alloc, self.dtype, tuple(shape), byte_offset=self.byte_offset)
+        if new.size != self.size:
+            raise InvalidAddressError(
+                f"cannot reshape {self.shape} ({self.size} elems) to {shape}"
+            )
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeviceArray(addr={self.base_addr:#x}, dtype={self.dtype}, "
+            f"shape={self.shape})"
+        )

@@ -1,0 +1,148 @@
+"""Set-associative LRU cache model.
+
+The memory hierarchy uses this model in two roles:
+
+* a *representative-warp* L1 simulation — each sampled warp's program-
+  order line stream runs through a cache scaled to that warp's fair
+  share of the L1, capturing intra-warp temporal reuse (e.g. a matmul
+  row line being re-read for 32 consecutive ``k`` iterations);
+* a *sampled-stream* L2 simulation — the interleaved line stream of a
+  contiguous warp window runs through a cache whose capacity is scaled
+  by the sampling fraction, capturing cross-warp spatial sharing and
+  sweep-to-sweep reuse while keeping footprint/capacity ratios intact.
+
+The replacement policy is true LRU within each set; sets are selected
+by the low line-index bits, as in real L1/L2 slices.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = ["LRUCache", "simulate_stream"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(line_id: int) -> int:
+    """Cheap deterministic integer hash (splitmix64 finalizer).
+
+    Real L2 slices hash the address bits into the set index so regular
+    power-of-two strides do not collapse onto a few sets; plain modulo
+    indexing would make the model thrash where hardware does not.
+    """
+    z = (line_id * 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+class LRUCache:
+    """A set-associative cache over abstract line identifiers.
+
+    Parameters
+    ----------
+    capacity_lines:
+        Total number of lines the cache can hold.  A capacity of zero
+        degenerates to a cache that always misses.
+    ways:
+        Associativity.  The set count is ``max(capacity_lines // ways, 1)``
+        (fully associative when ``capacity_lines <= ways``).
+    """
+
+    def __init__(self, capacity_lines: int, ways: int = 8) -> None:
+        if capacity_lines < 0:
+            raise ValueError("capacity_lines must be non-negative")
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.capacity_lines = int(capacity_lines)
+        if self.capacity_lines == 0:
+            self.n_sets = 0
+            self.ways = 0
+            self._sets: list[OrderedDict[int, None]] = []
+        else:
+            self.ways = min(ways, self.capacity_lines)
+            self.n_sets = max(self.capacity_lines // self.ways, 1)
+            self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: clean->dirty transitions: each implies one eventual write-back
+        self.lines_dirtied = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.lines_dirtied = 0
+
+    def access(self, line_id: int, *, write: bool = False) -> bool:
+        """Touch one line; returns True on hit.
+
+        ``write`` marks the line dirty; the ``lines_dirtied`` counter
+        counts clean->dirty transitions, each of which corresponds to
+        one eventual write-back to the next level.
+        """
+        if self.capacity_lines == 0:
+            self.misses += 1
+            if write:
+                self.lines_dirtied += 1
+            return False
+        s = self._sets[_mix(line_id) % self.n_sets]
+        if line_id in s:
+            s.move_to_end(line_id)
+            self.hits += 1
+            if write and not s[line_id]:
+                s[line_id] = True
+                self.lines_dirtied += 1
+            return True
+        self.misses += 1
+        if len(s) >= self.ways:
+            s.popitem(last=False)
+            self.evictions += 1
+        s[line_id] = bool(write)
+        if write:
+            self.lines_dirtied += 1
+        return False
+
+    def access_many(
+        self, line_ids: Iterable[int] | np.ndarray, *, write: bool = False
+    ) -> int:
+        """Touch a sequence of lines in order; returns the hit count."""
+        before = self.hits
+        if isinstance(line_ids, np.ndarray):
+            line_ids = line_ids.tolist()
+        for lid in line_ids:
+            self.access(int(lid), write=write)
+        return self.hits - before
+
+    def contains(self, line_id: int) -> bool:
+        """Non-mutating presence test (no LRU update, no counters)."""
+        if self.capacity_lines == 0:
+            return False
+        return line_id in self._sets[_mix(line_id) % self.n_sets]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+def simulate_stream(
+    stream: np.ndarray | Iterable[int],
+    capacity_lines: int,
+    ways: int = 8,
+) -> tuple[int, int]:
+    """Run a line-id stream through a fresh cache; return (hits, misses)."""
+    cache = LRUCache(capacity_lines, ways)
+    cache.access_many(np.asarray(list(stream), dtype=np.int64))
+    return cache.hits, cache.misses

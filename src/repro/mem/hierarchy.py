@@ -1,0 +1,272 @@
+"""Memory-hierarchy traffic resolution.
+
+Takes the :class:`~repro.mem.trace.AccessTrace` recorded during a kernel
+launch and resolves it against a :class:`~repro.arch.spec.GPUSpec` into
+level-by-level traffic: L1 transactions and hits, L2 sector accesses and
+hits, and finally DRAM bytes.  The result feeds the roofline timing
+model.
+
+Modelling choices (see DESIGN.md §5):
+
+* **L1** is simulated per *window warp*: each warp's program-order line
+  stream runs through an LRU cache sized to the warp's fair share of
+  the SM's L1 (``l1_size / resident_warps_per_sm``).  Global *stores*
+  bypass L1 (NVIDIA L1s are write-through, no-allocate); on
+  architectures with ``global_loads_cached_in_l1=False`` (Kepler) loads
+  bypass it too, and only the texture path is cached on-SM.
+* **L2** is simulated over the interleaved stream of window-warp
+  sectors that missed (or bypassed) L1, through an LRU scaled by the
+  window fraction so footprint/capacity ratios are preserved.
+* **DRAM** traffic is the L2 miss sectors, rescaled from the window to
+  the whole grid using each record's exact grid-total sector count.
+* **Constant memory** is not resolved here: its cost is serialization
+  at issue time and its footprint is assumed resident in the 64 KiB
+  constant cache after first touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.spec import GPUSpec
+from repro.mem.cache import LRUCache
+from repro.mem.trace import AccessTrace
+
+__all__ = ["TrafficReport", "resolve_traffic"]
+
+
+@dataclass
+class TrafficReport:
+    """Level-by-level memory traffic for one kernel launch."""
+
+    bytes_requested: float = 0.0   #: useful bytes (active lanes x itemsize)
+    transactions: float = 0.0      #: L1-segment transactions, grid total
+
+    l1_lookups: float = 0.0        #: line lookups that went through L1
+    l1_hits: float = 0.0
+
+    l2_sectors: float = 0.0        #: sector requests arriving at L2
+    l2_hits: float = 0.0
+
+    dram_sectors: float = 0.0
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+    #: DRAM read bytes that travelled the uncached (L1-bypass) path —
+    #: the timing model derates their bandwidth on Kepler-class parts.
+    dram_uncached_read_bytes: float = 0.0
+
+    tex_lookups: float = 0.0
+    tex_hits: float = 0.0
+
+    #: issue-weighted average load-to-use latency in cycles
+    avg_load_latency_cycles: float = 0.0
+
+    per_space: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.l1_lookups if self.l1_lookups else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2_hits / self.l2_sectors if self.l2_sectors else 0.0
+
+
+def _warp_line_lists(
+    addrs: np.ndarray, mask: np.ndarray, itemsize: int, line_bytes: int
+) -> list[np.ndarray]:
+    """Per window warp, the distinct line ids it touches (sorted)."""
+    out: list[np.ndarray] = []
+    for row_a, row_m in zip(addrs, mask):
+        if not row_m.any():
+            out.append(np.empty(0, dtype=np.int64))
+            continue
+        a = row_a[row_m]
+        first = a // line_bytes
+        last = (a + itemsize - 1) // line_bytes
+        out.append(np.unique(np.concatenate([first, last])))
+    return out
+
+
+def _warp_sector_lists(
+    addrs: np.ndarray, mask: np.ndarray, itemsize: int, sector_bytes: int
+) -> list[np.ndarray]:
+    return _warp_line_lists(addrs, mask, itemsize, sector_bytes)
+
+
+def resolve_traffic(
+    trace: AccessTrace,
+    gpu: GPUSpec,
+    *,
+    resident_warps_per_sm: int,
+) -> TrafficReport:
+    """Resolve an access trace into per-level traffic.
+
+    Parameters
+    ----------
+    trace:
+        Program-ordered records from one kernel launch.
+    gpu:
+        Architecture to resolve against (cache sizes, bypass flags).
+    resident_warps_per_sm:
+        From the occupancy calculation; sets each warp's fair share of
+        the L1 and texture caches.
+    """
+    report = TrafficReport()
+    if not trace.records:
+        return report
+
+    line_bytes = gpu.transaction_bytes
+    sector_bytes = gpu.sector_bytes
+    rw = max(int(resident_warps_per_sm), 1)
+
+    nw = trace.window_warps
+    l1_share = max(gpu.l1_size // line_bytes // rw, 1)
+    tex_share = max(gpu.texture_cache_size // line_bytes // rw, 1)
+    l1_caches = [LRUCache(l1_share, ways=4) for _ in range(nw)]
+    tex_caches = (
+        [LRUCache(tex_share, ways=4) for _ in range(nw)]
+        if gpu.texture_cache_dedicated
+        else l1_caches  # unified path: texture shares the L1 model
+    )
+
+    # The window competes for L2 with the other *co-resident* warps, not
+    # with the whole grid: warps scheduled long after the window's have
+    # already evicted each other's lines, so scaling by grid size would
+    # starve the window below a single access's footprint on large
+    # launches.  Scale capacity by window / resident warps instead.
+    resident_total = gpu.sm_count * rw
+    effective_warps = max(min(trace.n_grid_warps, resident_total), trace.window_warps)
+    frac = trace.window_warps / effective_warps
+    l2_capacity = max(int(gpu.l2_size / sector_bytes * frac), 8)
+    l2 = LRUCache(l2_capacity, ways=16)
+
+    lat_weight = 0.0
+    lat_cycles = 0.0
+
+    for rec in trace.records:
+        if rec.space == "constant":
+            # Constant traffic is modelled at issue time; assume the
+            # (small) constant bank is cache-resident after first touch.
+            report.per_space["constant"] = report.per_space.get(
+                "constant", 0.0
+            ) + rec.summary.bytes_requested
+            continue
+
+        report.bytes_requested += rec.summary.bytes_requested
+        report.transactions += rec.summary.transactions
+        report.per_space[rec.space] = (
+            report.per_space.get(rec.space, 0.0) + rec.summary.bytes_requested
+        )
+
+        if rec.space == "texture":
+            cached_on_sm = True
+            caches = tex_caches
+        else:
+            cached_on_sm = gpu.global_loads_cached_in_l1 and not rec.is_store
+            caches = l1_caches
+
+        warp_lines = _warp_line_lists(
+            rec.window_addrs, rec.window_mask, rec.itemsize, line_bytes
+        )
+        warp_sectors = _warp_sector_lists(
+            rec.window_addrs, rec.window_mask, rec.itemsize, sector_bytes
+        )
+
+        # --- on-SM cache stage ----------------------------------------
+        window_l2_sectors: list[np.ndarray] = []
+        window_lines = 0
+        window_l1_hits = 0
+        for w, (lines, sectors) in enumerate(zip(warp_lines, warp_sectors)):
+            if lines.size == 0:
+                continue
+            window_lines += lines.size
+            if not cached_on_sm:
+                window_l2_sectors.append(sectors)
+                continue
+            cache = caches[w]
+            missed_lines = [lid for lid in lines.tolist() if not cache.access(lid)]
+            window_l1_hits += lines.size - len(missed_lines)
+            if missed_lines:
+                miss_set = np.asarray(missed_lines, dtype=np.int64)
+                sec_lines = sectors // (line_bytes // sector_bytes)
+                window_l2_sectors.append(sectors[np.isin(sec_lines, miss_set)])
+
+        # Rescale window observations to grid totals using the exact
+        # grid-total sector count from the coalescing summary.
+        window_sector_total = sum(s.size for s in warp_sectors)
+        scale = (
+            rec.summary.sectors / window_sector_total
+            if window_sector_total
+            else 0.0
+        )
+
+        if cached_on_sm and window_lines:
+            grid_lines = rec.summary.transactions  # line lookups ~ transactions
+            hit_frac = window_l1_hits / window_lines
+            if rec.space == "texture" and gpu.texture_cache_dedicated:
+                report.tex_lookups += grid_lines
+                report.tex_hits += grid_lines * hit_frac
+            else:
+                report.l1_lookups += grid_lines
+                report.l1_hits += grid_lines * hit_frac
+
+        # --- L2 stage ----------------------------------------------------
+        window_l2 = (
+            np.concatenate(window_l2_sectors)
+            if window_l2_sectors
+            else np.empty(0, dtype=np.int64)
+        )
+        l2_before_h, l2_before_a = l2.hits, l2.accesses
+        l2_before_d = l2.lines_dirtied
+        l2.access_many(window_l2, write=rec.is_store)
+        w_l2_acc = l2.accesses - l2_before_a
+        w_l2_hit = l2.hits - l2_before_h
+        w_dirtied = l2.lines_dirtied - l2_before_d
+        grid_l2 = w_l2_acc * scale
+        grid_l2_hits = w_l2_hit * scale
+
+        report.l2_sectors += grid_l2
+        report.l2_hits += grid_l2_hits
+        # Scattered sectors waste DRAM burst granularity (64B min burst).
+        burst = rec.summary.dram_burst_factor
+        if rec.is_store:
+            # Stores don't read DRAM (sector writes need no fill); every
+            # newly-dirtied sector is one eventual write-back.
+            grid_dirtied = w_dirtied * scale
+            report.dram_sectors += grid_dirtied
+            report.dram_write_bytes += grid_dirtied * sector_bytes * burst
+        else:
+            grid_dram = (w_l2_acc - w_l2_hit) * scale
+            report.dram_sectors += grid_dram
+            dram_bytes = grid_dram * sector_bytes * burst
+            report.dram_read_bytes += dram_bytes
+            if not cached_on_sm:
+                report.dram_uncached_read_bytes += dram_bytes
+
+        # --- latency mix -------------------------------------------------
+        if not rec.is_store and rec.summary.n_warps:
+            n = rec.summary.n_warps
+            l1_frac = (
+                window_l1_hits / window_lines if cached_on_sm and window_lines else 0.0
+            )
+            l2_frac = (1.0 - l1_frac) * (w_l2_hit / w_l2_acc if w_l2_acc else 0.0)
+            dram_frac = max(1.0 - l1_frac - l2_frac, 0.0)
+            lat = (
+                l1_frac * gpu.shared_latency_cycles
+                + l2_frac * gpu.l2_latency_cycles
+                + dram_frac * gpu.dram_latency_cycles
+            )
+            lat_cycles += lat * n
+            lat_weight += n
+
+    report.avg_load_latency_cycles = (
+        lat_cycles / lat_weight if lat_weight else float(gpu.l2_latency_cycles)
+    )
+    return report

@@ -1,0 +1,26 @@
+"""SIMT execution core: lock-step vectorized kernel interpretation."""
+
+from repro.simt.context import ThreadContext
+from repro.simt.dim3 import Dim3
+from repro.simt.executor import MAX_SIM_THREADS, run_kernel, validate_launch
+from repro.simt.kernel import KernelDef, kernel
+from repro.simt.lanevec import LaneVec, cost_class_for
+from repro.simt.shared import SharedArray
+from repro.simt.stats import KernelStats
+from repro.simt.texture import DEFAULT_TILE, TextureView
+
+__all__ = [
+    "ThreadContext",
+    "Dim3",
+    "MAX_SIM_THREADS",
+    "run_kernel",
+    "validate_launch",
+    "KernelDef",
+    "kernel",
+    "LaneVec",
+    "cost_class_for",
+    "SharedArray",
+    "KernelStats",
+    "DEFAULT_TILE",
+    "TextureView",
+]

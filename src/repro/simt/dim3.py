@@ -1,0 +1,57 @@
+"""CUDA-style 3-component dimensions and thread-hierarchy arithmetic.
+
+CUDA organises threads in a two-level hierarchy — a *grid* of *blocks*
+of threads — where each level can be 1-D, 2-D or 3-D (paper Fig. 1).
+:class:`Dim3` mirrors CUDA's ``dim3``: missing components default to 1,
+and the execution configuration ``<<<grid, block>>>`` becomes
+``launch(kernel, grid=Dim3(...), block=Dim3(...))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import LaunchConfigError
+
+__all__ = ["Dim3"]
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA ``dim3``: extents along x, y, z (all ≥ 1)."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis in ("x", "y", "z"):
+            v = getattr(self, axis)
+            if not isinstance(v, int) or v < 1:
+                raise LaunchConfigError(
+                    f"dim3.{axis} must be a positive integer, got {v!r}"
+                )
+
+    @classmethod
+    def of(cls, value: "Dim3 | int | tuple[int, ...]") -> "Dim3":
+        """Coerce an int, tuple, or Dim3 — like CUDA's implicit dim3."""
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        if isinstance(value, tuple):
+            if not 1 <= len(value) <= 3:
+                raise LaunchConfigError(f"dim3 tuple must have 1-3 elements: {value}")
+            return cls(*value)
+        raise LaunchConfigError(f"cannot interpret {value!r} as dim3")
+
+    @property
+    def size(self) -> int:
+        """Total element count, ``x * y * z``."""
+        return self.x * self.y * self.z
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.x, self.y, self.z)
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y}, {self.z})"

@@ -1,0 +1,69 @@
+"""Kernel definitions: the ``__global__`` functions of the simulator.
+
+A kernel is a Python function whose first parameter is the
+:class:`~repro.simt.context.ThreadContext`; the :func:`kernel`
+decorator wraps it in a :class:`KernelDef` carrying launch metadata
+(display name, an estimated register count for the occupancy
+calculator).  KernelDefs are launched through
+:func:`repro.simt.executor.run_kernel` or, at system level, through
+:class:`repro.host.runtime.CudaLite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["KernelDef", "kernel"]
+
+
+@dataclass
+class KernelDef:
+    """A device kernel plus its static resource estimates.
+
+    ``registers`` feeds the occupancy calculation the way ``nvcc
+    --ptxas-options=-v`` output would; kernels that need more live
+    state (e.g. the tiled matmul) declare a higher count.
+    """
+
+    func: Callable[..., Any]
+    name: str
+    registers: int = 32
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.registers <= 0:
+            raise ValueError("register estimate must be positive")
+
+    def __call__(self, ctx, *args: Any) -> Any:
+        """Run the kernel body directly (used by the executor)."""
+        return self.func(ctx, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"KernelDef({self.name}, regs={self.registers})"
+
+
+def kernel(
+    func: Callable[..., Any] | None = None,
+    *,
+    name: str | None = None,
+    registers: int = 32,
+    **meta: Any,
+) -> KernelDef | Callable[[Callable[..., Any]], KernelDef]:
+    """Decorator turning a context-taking function into a :class:`KernelDef`.
+
+    Usable bare or with options::
+
+        @kernel
+        def axpy(ctx, x, y, n, a): ...
+
+        @kernel(registers=40)
+        def matmul_tiled(ctx, a, b, c, n): ...
+    """
+
+    def wrap(f: Callable[..., Any]) -> KernelDef:
+        return KernelDef(func=f, name=name or f.__name__, registers=registers, meta=meta)
+
+    if func is not None:
+        return wrap(func)
+    return wrap

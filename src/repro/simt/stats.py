@@ -1,0 +1,135 @@
+"""Per-launch execution statistics.
+
+A :class:`KernelStats` is what the lock-step interpreter produces for
+one kernel launch: issue-cycle totals, memory-access summaries, shared
+memory bank behaviour, divergence counters, and the full access trace.
+These are the simulator's analogue of an ``nvprof`` metrics dump, and
+they are the sole input (together with the architecture spec and the
+occupancy result) of the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.trace import AccessTrace
+from repro.simt.dim3 import Dim3
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Microarchitectural event counts for one kernel launch.
+
+    ``issue_cycles`` is the grid-total number of SM pipeline cycles
+    occupied by warp instructions (a warp-wide FP32 op on Volta
+    occupies the FP32 pipes for ``32/64 = 0.5`` cycles, a 32-transaction
+    uncoalesced load occupies the LSU for 32 cycles, an ``n``-way bank
+    conflicted shared access costs ``n`` cycles, ...).  Dividing by
+    ``sm_count * clock`` turns it into the compute-bound execution time.
+    """
+
+    name: str
+    grid: Dim3
+    block: Dim3
+    threads: int
+    warps: int
+
+    #: static launch resources, filled in by the executor (occupancy inputs)
+    shared_mem_per_block: int = 0
+    registers_per_thread: int = 32
+
+    issue_cycles: float = 0.0
+    warp_instructions: float = 0.0
+    thread_instructions: float = 0.0
+
+    # global/texture/constant memory
+    global_requests: float = 0.0      #: warp-level load/store instructions
+    transactions: float = 0.0          #: L1-segment transactions
+    sectors_requested: float = 0.0     #: 32B sectors before caching
+    bytes_requested: float = 0.0       #: useful bytes moved for active lanes
+    constant_requests: float = 0.0
+    constant_replays: float = 0.0      #: serialization beyond broadcast
+
+    # shared memory
+    shared_requests: float = 0.0
+    shared_passes: float = 0.0
+    bank_conflict_extra: float = 0.0
+    shared_bytes: float = 0.0
+
+    # asynchronous global->shared copies (Ampere cp.async)
+    async_copies: float = 0.0
+    async_copy_bytes: float = 0.0
+
+    # control flow / intrinsics
+    branches: int = 0
+    divergent_branches: int = 0        #: warp-level divergent branch count
+    barriers: int = 0
+    shuffles: float = 0.0
+    atomics: float = 0.0
+
+    # dynamic parallelism
+    device_launches: int = 0
+
+    trace: AccessTrace = field(default_factory=lambda: AccessTrace.for_grid(0))
+
+    #: pages of managed allocations touched (filled by the executor):
+    #: allocation base address -> (read page set, written page set)
+    managed_touched: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def blocks(self) -> int:
+        return self.grid.size
+
+    @property
+    def warp_execution_efficiency(self) -> float:
+        """Mean fraction of active lanes per issued warp instruction.
+
+        nvprof's ``warp_execution_efficiency``: 100% means no divergence
+        waste (paper §III-A reports 85.71% vs 100% for WD vs noWD).
+        """
+        denom = self.warp_instructions * 32
+        return self.thread_instructions / denom if denom else 1.0
+
+    @property
+    def branch_efficiency(self) -> float:
+        """Fraction of warp branches that were non-divergent."""
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.divergent_branches / self.branches
+
+    @property
+    def gld_efficiency(self) -> float:
+        """Useful bytes / sector bytes moved — nvprof's load efficiency."""
+        moved = self.sectors_requested * 32.0
+        return self.bytes_requested / moved if moved else 1.0
+
+    @property
+    def shared_efficiency(self) -> float:
+        """Conflict-free passes / actual passes (1.0 = no conflicts)."""
+        if not self.shared_passes:
+            return 1.0
+        return self.shared_requests / self.shared_passes
+
+    def merge_child(self, child: "KernelStats") -> None:
+        """Fold a device-launched child kernel's counters into this launch.
+
+        Used by the dynamic-parallelism path when a parent kernel's
+        nested launches should be accounted as one logical launch.
+        """
+        for attr in (
+            "issue_cycles", "warp_instructions", "thread_instructions",
+            "global_requests", "transactions", "sectors_requested",
+            "bytes_requested", "constant_requests", "constant_replays",
+            "shared_requests", "shared_passes", "bank_conflict_extra",
+            "shared_bytes", "shuffles", "atomics",
+            "async_copies", "async_copy_bytes",
+        ):
+            setattr(self, attr, getattr(self, attr) + getattr(child, attr))
+        self.branches += child.branches
+        self.divergent_branches += child.divergent_branches
+        self.barriers += child.barriers
+        self.device_launches += child.device_launches + 1
+        self.trace.records.extend(child.trace.records)

@@ -1,0 +1,117 @@
+"""Texture views: read-only data with spatially-local layouts.
+
+CUDA textures are read-only images sampled through the texture unit.
+Two properties matter for performance (paper §V-B):
+
+* fetches go through the texture cache — on Kepler a *dedicated*
+  per-SM cache, on Volta+ the unified L1;
+* 2-D CUDA arrays are stored *block-linear* (tiled), so 2-D-local
+  access patterns touch few cache lines even when they stride the
+  logical row.
+
+:class:`TextureView` reproduces both: it wraps a
+:class:`~repro.mem.buffer.DeviceArray` whose elements are laid out in
+``tile x tile`` blocks, maps logical ``(x, y)`` coordinates to flat
+storage indices, and clamps out-of-range coordinates like CUDA's
+clamp addressing mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import InvalidAddressError
+from repro.mem.buffer import DeviceArray
+
+__all__ = ["TextureView", "DEFAULT_TILE"]
+
+#: 8x8 tiles of 4-byte texels = 256-byte blocks, matching the scale of
+#: real block-linear GOB tiling.
+DEFAULT_TILE = 8
+
+
+class TextureView:
+    """A 1-D or 2-D texture bound over block-linear device storage."""
+
+    def __init__(
+        self,
+        storage: DeviceArray,
+        width: int,
+        height: int | None = None,
+        *,
+        tile: int = DEFAULT_TILE,
+    ) -> None:
+        self.storage = storage
+        self.width = int(width)
+        self.height = None if height is None else int(height)
+        self.tile = int(tile)
+        if self.width <= 0 or (self.height is not None and self.height <= 0):
+            raise InvalidAddressError("texture dimensions must be positive")
+        if self.is_2d:
+            if storage.size < self.padded_width * self.padded_height:
+                raise InvalidAddressError(
+                    "texture storage smaller than padded block-linear extent"
+                )
+        elif storage.size < self.width:
+            raise InvalidAddressError("texture storage smaller than width")
+
+    @property
+    def is_2d(self) -> bool:
+        return self.height is not None
+
+    @property
+    def tiles_x(self) -> int:
+        return -(-self.width // self.tile)
+
+    @property
+    def tiles_y(self) -> int:
+        assert self.height is not None
+        return -(-self.height // self.tile)
+
+    @property
+    def padded_width(self) -> int:
+        return self.tiles_x * self.tile
+
+    @property
+    def padded_height(self) -> int:
+        return self.tiles_y * self.tile
+
+    # ------------------------------------------------------------------
+    def flat_index_1d(self, x: np.ndarray) -> np.ndarray:
+        """Clamped linear index for a 1-D texture fetch."""
+        xi = np.clip(np.asarray(x, dtype=np.int64), 0, self.width - 1)
+        return xi
+
+    def flat_index_2d(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Clamped block-linear storage index for a 2-D texture fetch."""
+        if not self.is_2d:
+            raise InvalidAddressError("flat_index_2d on a 1-D texture")
+        xi = np.clip(np.asarray(x, dtype=np.int64), 0, self.width - 1)
+        yi = np.clip(np.asarray(y, dtype=np.int64), 0, self.height - 1)
+        t = self.tile
+        tile_idx = (yi // t) * self.tiles_x + (xi // t)
+        within = (yi % t) * t + (xi % t)
+        return tile_idx * (t * t) + within
+
+    @staticmethod
+    def swizzle_2d(host: np.ndarray, tile: int = DEFAULT_TILE) -> np.ndarray:
+        """Rearrange a (H, W) host array into block-linear storage order.
+
+        Returns a flat array of length ``padded_h * padded_w`` whose
+        element at :meth:`flat_index_2d`'s output equals ``host[y, x]``.
+        Padding texels replicate the clamped edge so out-of-range
+        fetches still see valid data.
+        """
+        h, w = host.shape
+        tiles_y = -(-h // tile)
+        tiles_x = -(-w // tile)
+        ph, pw = tiles_y * tile, tiles_x * tile
+        padded = np.empty((ph, pw), dtype=host.dtype)
+        padded[:h, :w] = host
+        if pw > w:
+            padded[:h, w:] = host[:, w - 1 : w]
+        if ph > h:
+            padded[h:, :] = padded[h - 1 : h, :]
+        # (ty, y%t, tx, x%t) -> (ty, tx, y%t, x%t) row-major flattening
+        blocks = padded.reshape(tiles_y, tile, tiles_x, tile)
+        return np.ascontiguousarray(blocks.transpose(0, 2, 1, 3)).reshape(-1)

@@ -1,0 +1,5 @@
+"""Sparse matrix formats (CSR/CSC) built from scratch."""
+
+from repro.sparse.csr import CSCMatrix, CSRMatrix, random_sparse
+
+__all__ = ["CSCMatrix", "CSRMatrix", "random_sparse"]

@@ -1,0 +1,157 @@
+"""Compressed sparse row/column matrices, built from scratch.
+
+The MiniTransfer microbenchmark (paper §V-D, Fig. 17) contrasts
+shipping a dense ``n x n`` matrix to the GPU against shipping the three
+CSR vectors.  This module provides the host-side format: construction
+from dense/COO data, size accounting (what actually crosses PCIe),
+reference SpMV, and a reproducible random sparse-matrix generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+__all__ = ["CSRMatrix", "CSCMatrix", "random_sparse"]
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed sparse row: ``values``, ``col_idx``, ``row_ptr``."""
+
+    n_rows: int
+    n_cols: int
+    values: np.ndarray    #: float32[nnz]
+    col_idx: np.ndarray   #: int32[nnz]
+    row_ptr: np.ndarray   #: int32[n_rows + 1]
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float32)
+        self.col_idx = np.asarray(self.col_idx, dtype=np.int32)
+        self.row_ptr = np.asarray(self.row_ptr, dtype=np.int32)
+        if self.row_ptr.shape != (self.n_rows + 1,):
+            raise ValueError("row_ptr must have n_rows + 1 entries")
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != self.nnz:
+            raise ValueError("row_ptr must start at 0 and end at nnz")
+        if (np.diff(self.row_ptr) < 0).any():
+            raise ValueError("row_ptr must be non-decreasing")
+        if self.col_idx.shape != self.values.shape:
+            raise ValueError("col_idx and values must have equal length")
+        if self.nnz and (
+            self.col_idx.min() < 0 or self.col_idx.max() >= self.n_cols
+        ):
+            raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes that must cross the link to ship this matrix."""
+        return self.values.nbytes + self.col_idx.nbytes + self.row_ptr.nbytes
+
+    @property
+    def density(self) -> float:
+        total = self.n_rows * self.n_cols
+        return self.nnz / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("from_dense needs a 2-D array")
+        rows, cols = np.nonzero(dense)
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        values = dense[rows, cols].astype(np.float32)
+        row_ptr = np.zeros(dense.shape[0] + 1, dtype=np.int32)
+        np.add.at(row_ptr, rows + 1, 1)
+        row_ptr = np.cumsum(row_ptr, dtype=np.int32)
+        return cls(dense.shape[0], dense.shape[1], values, cols.astype(np.int32), row_ptr)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.n_rows, self.n_cols), dtype=np.float32)
+        rows = np.repeat(np.arange(self.n_rows), np.diff(self.row_ptr))
+        out[rows, self.col_idx] = self.values
+        return out
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference ``y = A @ x`` on the host."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have {self.n_cols} entries")
+        prods = self.values * x[self.col_idx]
+        y = np.zeros(self.n_rows, dtype=np.float32)
+        rows = np.repeat(np.arange(self.n_rows), np.diff(self.row_ptr))
+        np.add.at(y, rows, prods)
+        return y
+
+    def transpose(self) -> "CSCMatrix":
+        """The same matrix viewed as CSC (shares no storage)."""
+        dense_free = CSRMatrix.from_dense  # noqa: F841 (doc aid)
+        coo_rows = np.repeat(np.arange(self.n_rows), np.diff(self.row_ptr))
+        order = np.lexsort((coo_rows, self.col_idx))
+        rows = coo_rows[order].astype(np.int32)
+        vals = self.values[order]
+        col_ptr = np.zeros(self.n_cols + 1, dtype=np.int32)
+        np.add.at(col_ptr, self.col_idx + 1, 1)
+        col_ptr = np.cumsum(col_ptr, dtype=np.int32)
+        return CSCMatrix(self.n_rows, self.n_cols, vals, rows, col_ptr)
+
+
+@dataclass
+class CSCMatrix:
+    """Compressed sparse column: the CSR of the transpose."""
+
+    n_rows: int
+    n_cols: int
+    values: np.ndarray    #: float32[nnz]
+    row_idx: np.ndarray   #: int32[nnz]
+    col_ptr: np.ndarray   #: int32[n_cols + 1]
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float32)
+        self.row_idx = np.asarray(self.row_idx, dtype=np.int32)
+        self.col_ptr = np.asarray(self.col_ptr, dtype=np.int32)
+        if self.col_ptr.shape != (self.n_cols + 1,):
+            raise ValueError("col_ptr must have n_cols + 1 entries")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes + self.row_idx.nbytes + self.col_ptr.nbytes
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.n_rows, self.n_cols), dtype=np.float32)
+        cols = np.repeat(np.arange(self.n_cols), np.diff(self.col_ptr))
+        out[self.row_idx, cols] = self.values
+        return out
+
+
+def random_sparse(
+    n: int,
+    nnz: int,
+    *,
+    seed: int | None = None,
+    label: str = "spmv",
+) -> CSRMatrix:
+    """A reproducible random ``n x n`` CSR matrix with exactly ``nnz``
+    non-zeros (uniformly placed, values in [0.5, 1.5))."""
+    if nnz > n * n:
+        raise ValueError(f"nnz={nnz} exceeds matrix capacity {n * n}")
+    rng = make_rng(seed, label)
+    flat = rng.choice(n * n, size=nnz, replace=False)
+    rows, cols = np.divmod(np.sort(flat), n)
+    values = rng.random(nnz, dtype=np.float32) + 0.5
+    row_ptr = np.zeros(n + 1, dtype=np.int32)
+    np.add.at(row_ptr, rows + 1, 1)
+    row_ptr = np.cumsum(row_ptr, dtype=np.int32)
+    return CSRMatrix(n, n, values, cols.astype(np.int32), row_ptr)

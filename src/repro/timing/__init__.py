@@ -1,0 +1,20 @@
+"""Analytic timing: occupancy, launch overheads, the roofline model."""
+
+from repro.timing.model import (
+    MEM_PARALLELISM_PER_WARP,
+    MODEL_BETA,
+    KernelTiming,
+    estimate_kernel_time,
+    launch_overhead,
+)
+from repro.timing.occupancy import Occupancy, compute_occupancy
+
+__all__ = [
+    "MEM_PARALLELISM_PER_WARP",
+    "MODEL_BETA",
+    "KernelTiming",
+    "estimate_kernel_time",
+    "launch_overhead",
+    "Occupancy",
+    "compute_occupancy",
+]

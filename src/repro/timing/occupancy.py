@@ -1,0 +1,115 @@
+"""CUDA occupancy calculation.
+
+Occupancy — the fraction of an SM's warp slots actually resident —
+determines how much latency the warp scheduler can hide.  Resident
+blocks per SM are limited by four resources, exactly as in NVIDIA's
+occupancy calculator: warp slots, the block-count limit, shared memory,
+and the register file.  The timing model uses the result both for
+latency hiding (Little's-law bound) and for each warp's fair share of
+the L1 in the cache model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import GPUSpec
+from repro.common.errors import LaunchConfigError
+
+__all__ = ["Occupancy", "compute_occupancy"]
+
+#: Register allocation granularity (per-warp, in registers).
+_REG_ALLOC_UNIT = 256
+#: Shared-memory allocation granularity in bytes.
+_SMEM_ALLOC_UNIT = 256
+
+
+def _round_up(v: int, unit: int) -> int:
+    return -(-v // unit) * unit
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel on one GPU."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    n_blocks: int
+    sm_count: int
+    max_warps_per_sm: int
+    limiter: str  #: which resource capped residency
+
+    @property
+    def warps_per_sm(self) -> int:
+        """Resident warps per SM at the residency limit."""
+        return self.blocks_per_sm * self.warps_per_block
+
+    @property
+    def occupancy(self) -> float:
+        """Resident warps / warp slots (the headline occupancy %)."""
+        return self.warps_per_sm / self.max_warps_per_sm
+
+    @property
+    def waves(self) -> int:
+        """Full rounds of block scheduling needed for the whole grid."""
+        per_round = self.blocks_per_sm * self.sm_count
+        return -(-self.n_blocks // per_round)
+
+    @property
+    def active_sms(self) -> int:
+        """SMs that receive at least one block."""
+        return min(self.sm_count, self.n_blocks)
+
+
+def compute_occupancy(
+    gpu: GPUSpec,
+    block_threads: int,
+    *,
+    shared_mem_per_block: int = 0,
+    registers_per_thread: int = 32,
+    n_blocks: int = 1,
+) -> Occupancy:
+    """Resident blocks/warps per SM for a launch configuration."""
+    if block_threads <= 0:
+        raise LaunchConfigError("block must have at least one thread")
+    if block_threads > gpu.max_threads_per_block:
+        raise LaunchConfigError(
+            f"{block_threads} threads/block exceeds {gpu.max_threads_per_block}"
+        )
+    if registers_per_thread > gpu.max_registers_per_thread:
+        raise LaunchConfigError(
+            f"{registers_per_thread} registers/thread exceeds "
+            f"{gpu.max_registers_per_thread}"
+        )
+    warps_per_block = -(-block_threads // gpu.warp_size)
+    max_warps = gpu.warps_per_sm
+
+    limits = {"warps": max_warps // warps_per_block, "blocks": gpu.max_blocks_per_sm}
+
+    if shared_mem_per_block > 0:
+        if shared_mem_per_block > gpu.shared_mem_per_block:
+            raise LaunchConfigError(
+                f"{shared_mem_per_block} B shared/block exceeds "
+                f"{gpu.shared_mem_per_block}"
+            )
+        smem = _round_up(shared_mem_per_block, _SMEM_ALLOC_UNIT)
+        limits["shared"] = gpu.shared_mem_per_sm // smem
+
+    regs_per_warp = _round_up(registers_per_thread * gpu.warp_size, _REG_ALLOC_UNIT)
+    regs_per_block = regs_per_warp * warps_per_block
+    limits["registers"] = gpu.registers_per_sm // regs_per_block
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks_per_sm = limits[limiter]
+    if blocks_per_sm < 1:
+        raise LaunchConfigError(
+            f"kernel cannot be resident on {gpu.name}: limited by {limiter}"
+        )
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        warps_per_block=warps_per_block,
+        n_blocks=max(int(n_blocks), 1),
+        sm_count=gpu.sm_count,
+        max_warps_per_sm=max_warps,
+        limiter=limiter,
+    )

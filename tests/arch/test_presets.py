@@ -1,0 +1,83 @@
+"""Preset architecture sanity: the paper's three platforms."""
+
+import pytest
+
+from repro.arch.presets import (
+    A100,
+    CARINA,
+    FORNAX,
+    RTX3080_SYSTEM,
+    RTX_3080,
+    TESLA_K80,
+    TESLA_V100,
+    get_gpu,
+    get_system,
+    list_gpus,
+)
+from repro.common.errors import SpecError
+
+
+class TestPresetValues:
+    def test_v100_geometry(self):
+        assert TESLA_V100.sm_count == 80
+        assert TESLA_V100.compute_capability == (7, 0)
+        assert TESLA_V100.dram_bandwidth == pytest.approx(900e9)
+
+    def test_k80_is_kepler(self):
+        assert TESLA_K80.compute_capability == (3, 7)
+        assert not TESLA_K80.global_loads_cached_in_l1
+        assert TESLA_K80.texture_cache_dedicated
+        assert TESLA_K80.uncached_path_efficiency < 1.0
+
+    def test_volta_texture_unified(self):
+        assert TESLA_V100.global_loads_cached_in_l1
+        assert not TESLA_V100.texture_cache_dedicated
+
+    def test_ampere_has_memcpy_async(self):
+        assert RTX_3080.supports_memcpy_async
+        assert A100.supports_memcpy_async
+        assert not TESLA_V100.supports_memcpy_async
+
+    def test_k80_lacks_task_graphs(self):
+        assert not TESLA_K80.supports_task_graphs
+
+    def test_kepler_fp32_lanes(self):
+        # Kepler SMX had 192 FP32 lanes per SM
+        assert TESLA_K80.op_throughput["fp32"] == 192.0
+
+    def test_peak_flops_ordering(self):
+        # A100 > V100 > K80 in FP32 peak
+        assert A100.peak_fp32_flops > TESLA_K80.peak_fp32_flops
+
+
+class TestSystems:
+    def test_paper_systems(self):
+        assert CARINA.gpu is TESLA_V100
+        assert FORNAX.gpu is TESLA_K80
+        assert RTX3080_SYSTEM.gpu is RTX_3080
+
+    def test_link_bandwidth_positive(self):
+        for s in (CARINA, FORNAX, RTX3080_SYSTEM):
+            assert s.link.pinned_bandwidth > 0
+
+
+class TestLookup:
+    def test_get_gpu(self):
+        assert get_gpu("v100") is TESLA_V100
+        assert get_gpu("K80") is TESLA_K80
+
+    def test_get_gpu_unknown(self):
+        with pytest.raises(SpecError):
+            get_gpu("gtx285")
+
+    def test_get_system(self):
+        assert get_system("carina") is CARINA
+        assert get_system("Fornax") is FORNAX
+
+    def test_get_system_unknown(self):
+        with pytest.raises(SpecError):
+            get_system("nonesuch")
+
+    def test_list_gpus(self):
+        names = list_gpus()
+        assert "v100" in names and "k80" in names and sorted(names) == names

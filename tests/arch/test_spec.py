@@ -1,0 +1,120 @@
+"""GPU/link/system specification validation and derived quantities."""
+
+import pytest
+
+from repro.arch.spec import DEFAULT_OP_THROUGHPUT, GPUSpec, LinkSpec, SystemSpec
+from repro.common.errors import SpecError
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="TestGPU",
+        compute_capability=(7, 0),
+        sm_count=4,
+        clock_hz=1e9,
+    )
+    base.update(overrides)
+    return GPUSpec(**base)
+
+
+class TestGPUSpecValidation:
+    def test_valid(self):
+        spec = make_spec()
+        assert spec.sm_count == 4
+
+    def test_zero_sms_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(sm_count=0)
+
+    def test_non_pow2_warp_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(warp_size=30)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(clock_hz=0)
+
+    def test_block_over_sm_threads_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(max_threads_per_block=4096, max_threads_per_sm=2048)
+
+    def test_shared_block_over_sm_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(shared_mem_per_block=128 * 1024, shared_mem_per_sm=64 * 1024)
+
+    def test_transaction_sector_mismatch_rejected(self):
+        with pytest.raises(SpecError):
+            make_spec(transaction_bytes=100, sector_bytes=32)
+
+    def test_missing_op_class_rejected(self):
+        bad = dict(DEFAULT_OP_THROUGHPUT)
+        del bad["fp32"]
+        with pytest.raises(SpecError):
+            make_spec(op_throughput=bad)
+
+
+class TestGPUSpecDerived:
+    def test_warps_per_sm(self):
+        assert make_spec(max_threads_per_sm=2048).warps_per_sm == 64
+
+    def test_total_thread_capacity(self):
+        spec = make_spec(sm_count=10, max_threads_per_sm=1024)
+        assert spec.total_thread_capacity == 10240
+
+    def test_peak_fp32(self):
+        spec = make_spec(sm_count=2, clock_hz=1e9)
+        assert spec.peak_fp32_flops == 2 * 2 * 64 * 1e9
+
+    def test_sectors_per_transaction(self):
+        assert make_spec().sectors_per_transaction == 4
+
+    def test_op_cycles(self):
+        spec = make_spec()
+        assert spec.op_cycles("fp32") == 32 / 64
+        assert spec.op_cycles("div") == 32 / 8
+
+    def test_op_cycles_unknown_raises(self):
+        with pytest.raises(SpecError):
+            make_spec().op_cycles("bogus")
+
+    def test_evolve(self):
+        spec = make_spec().evolve(sm_count=8)
+        assert spec.sm_count == 8
+        assert spec.name == "TestGPU"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make_spec().sm_count = 1  # type: ignore[misc]
+
+
+class TestLinkSpec:
+    def test_transfer_time_includes_latency(self):
+        link = LinkSpec("L", pinned_bandwidth=10e9, pageable_bandwidth=5e9, latency_s=1e-5)
+        assert link.transfer_time(0) == pytest.approx(1e-5)
+        assert link.transfer_time(10e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_pageable_slower(self):
+        link = LinkSpec("L", pinned_bandwidth=10e9, pageable_bandwidth=5e9)
+        assert link.transfer_time(1e9, pinned=False) > link.transfer_time(1e9)
+
+    def test_negative_size_rejected(self):
+        link = LinkSpec("L", pinned_bandwidth=1e9, pageable_bandwidth=1e9)
+        with pytest.raises(SpecError):
+            link.transfer_time(-1)
+
+    def test_pageable_over_pinned_rejected(self):
+        with pytest.raises(SpecError):
+            LinkSpec("L", pinned_bandwidth=1e9, pageable_bandwidth=2e9)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(SpecError):
+            LinkSpec("L", pinned_bandwidth=0, pageable_bandwidth=0)
+
+
+class TestSystemSpec:
+    def test_evolve(self):
+        from repro.arch.presets import CARINA
+
+        s = CARINA.evolve(name="other")
+        assert s.name == "other"
+        assert s.gpu is CARINA.gpu

@@ -1,0 +1,55 @@
+"""ASCII table/series rendering."""
+
+import pytest
+
+from repro.common.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+        # all data lines padded to consistent column starts
+        assert lines[2].index("2") == lines[3].index("4")
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert set(out.splitlines()[1]) == {"="}
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[0.000123456]])
+        assert "1.235e-04" in out
+
+    def test_plain_float(self):
+        out = render_table(["v"], [[1.5]])
+        assert "1.5" in out
+
+    def test_zero(self):
+        assert "0" in render_table(["v"], [[0.0]])
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_columns(self):
+        out = render_series("n", [1, 2], {"fast": [0.1, 0.2], "slow": [1.0, 2.0]})
+        header = out.splitlines()[0]
+        assert "n" in header and "fast" in header and "slow" in header
+        assert len(out.splitlines()) == 4
+
+    def test_mismatched_length_raises(self):
+        with pytest.raises(ValueError):
+            render_series("n", [1, 2], {"y": [1.0]})
+
+    def test_title_passthrough(self):
+        out = render_series("n", [1], {"y": [2]}, title="Fig. 9")
+        assert out.splitlines()[0] == "Fig. 9"

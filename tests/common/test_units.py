@@ -1,0 +1,99 @@
+"""Units and formatting helpers."""
+
+import pytest
+
+from repro.common.units import (
+    GIB,
+    KIB,
+    MIB,
+    fmt_bytes,
+    fmt_count,
+    fmt_rate,
+    fmt_time,
+    parse_size,
+)
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(0) == "0 B"
+        assert fmt_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert fmt_bytes(KIB) == "1.00 KiB"
+        assert fmt_bytes(1536) == "1.50 KiB"
+
+    def test_mib_gib(self):
+        assert fmt_bytes(MIB) == "1.00 MiB"
+        assert fmt_bytes(3 * GIB) == "3.00 GiB"
+
+    def test_negative(self):
+        assert fmt_bytes(-2048) == "-2.00 KiB"
+
+
+class TestFmtTime:
+    def test_seconds(self):
+        assert fmt_time(1.5) == "1.500 s"
+
+    def test_milliseconds(self):
+        assert fmt_time(2e-3) == "2.000 ms"
+
+    def test_microseconds(self):
+        assert fmt_time(3.25e-6) == "3.250 us"
+
+    def test_nanoseconds(self):
+        assert fmt_time(5e-9) == "5.0 ns"
+
+    def test_negative(self):
+        assert fmt_time(-1e-3).startswith("-")
+
+
+class TestFmtRate:
+    def test_gbs(self):
+        assert fmt_rate(900e9) == "900.0 GB/s"
+
+    def test_mbs(self):
+        assert fmt_rate(12e6) == "12.0 MB/s"
+
+    def test_small(self):
+        assert fmt_rate(10.0) == "10.0 B/s"
+
+
+class TestFmtCount:
+    def test_int(self):
+        assert fmt_count(1234567) == "1,234,567"
+
+    def test_float(self):
+        assert fmt_count(1234.5) == "1,234.50"
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("128", 128),
+            ("64KiB", 64 * KIB),
+            ("2 MiB", 2 * MIB),
+            ("1GiB", GIB),
+            ("16GB", 16 * 10**9),
+            ("900KB", 900 * 10**3),
+            ("4b", 4),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_fractional(self):
+        assert parse_size("1.5KiB") == 1536
+
+    def test_no_number_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("KiB")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("twelve")
+
+    def test_round_trip_binary(self):
+        for n in (1, KIB, 3 * MIB, 7 * GIB):
+            assert parse_size(fmt_bytes(n).replace(" ", "")) == n

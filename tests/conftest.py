@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import CARINA, FORNAX, RTX3080_SYSTEM, TESLA_V100
+from repro.host.runtime import CudaLite
+from repro.mem.allocator import DeviceAllocator
+from repro.mem.buffer import DeviceArray
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def allocator() -> DeviceAllocator:
+    return DeviceAllocator(1 << 30)
+
+
+@pytest.fixture
+def rt() -> CudaLite:
+    """A V100 runtime (the paper's primary system)."""
+    return CudaLite(CARINA)
+
+
+@pytest.fixture
+def rt_k80() -> CudaLite:
+    return CudaLite(FORNAX)
+
+
+@pytest.fixture
+def rt_ampere() -> CudaLite:
+    return CudaLite(RTX3080_SYSTEM)
+
+
+@pytest.fixture
+def v100():
+    return TESLA_V100
+
+
+def make_device_array(
+    allocator: DeviceAllocator,
+    data: np.ndarray,
+    *,
+    offset: int = 0,
+) -> DeviceArray:
+    """Allocate and fill a device array (helper, not a fixture)."""
+    data = np.ascontiguousarray(data)
+    alloc = allocator.malloc(data.nbytes, offset=offset)
+    arr = DeviceArray(alloc, data.dtype, data.shape)
+    arr.fill_from(data)
+    return arr

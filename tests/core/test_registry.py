@@ -1,0 +1,64 @@
+"""Benchmark registry and Table I metadata."""
+
+import pytest
+
+from repro.arch.presets import FORNAX
+from repro.common.errors import ReproError
+from repro.core.base import CATEGORIES, Microbenchmark
+from repro.core.registry import ALL_BENCHMARKS, get_benchmark, list_benchmarks
+
+
+class TestRegistry:
+    def test_fourteen_benchmarks(self):
+        assert len(ALL_BENCHMARKS) == 14
+
+    def test_names_unique(self):
+        names = list_benchmarks()
+        assert len(set(names)) == 14
+
+    def test_paper_names_present(self):
+        names = set(list_benchmarks())
+        assert {
+            "WarpDivRedux", "DynParallel", "Conkernels", "TaskGraph",
+            "Shmem", "CoMem", "MemAlign", "GSOverlap", "Shuffle",
+            "BankRedux", "HDOverlap", "ReadOnlyMem", "UniMem", "MiniTransfer",
+        } == names
+
+    def test_get_benchmark_case_insensitive(self):
+        b = get_benchmark("comem")
+        assert b.name == "CoMem"
+
+    def test_get_benchmark_with_system(self):
+        b = get_benchmark("CoMem", FORNAX)
+        assert b.system is FORNAX
+
+    def test_unknown_raises(self):
+        with pytest.raises(ReproError):
+            get_benchmark("nope")
+
+
+class TestTableIMetadata:
+    @pytest.mark.parametrize("cls", ALL_BENCHMARKS, ids=lambda c: c.name)
+    def test_metadata_complete(self, cls):
+        assert cls.category in CATEGORIES
+        assert cls.pattern
+        assert cls.technique
+        assert cls.paper_speedup
+        assert 1 <= cls.programmability <= 5
+
+    @pytest.mark.parametrize("cls", ALL_BENCHMARKS, ids=lambda c: c.name)
+    def test_table1_row(self, cls):
+        row = cls.table1_row()
+        assert row[0] == cls.name
+        assert len(row) == 5
+
+    def test_category_counts_match_paper(self):
+        from collections import Counter
+
+        counts = Counter(cls.category for cls in ALL_BENCHMARKS)
+        assert counts["parallelism"] == 4
+        assert counts["gpu-memory"] == 6
+        assert counts["data-movement"] == 4
+
+    def test_subclassing_contract(self):
+        assert all(issubclass(c, Microbenchmark) for c in ALL_BENCHMARKS)

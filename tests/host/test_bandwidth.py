@@ -1,0 +1,41 @@
+"""bandwidthTest utility sanity."""
+
+import pytest
+
+from repro.host.bandwidth import measure_bandwidth
+
+
+class TestBandwidthTest:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.host.runtime import CudaLite
+        from repro.arch.presets import CARINA
+
+        return measure_bandwidth(CudaLite(CARINA))
+
+    def test_asymptote_approaches_link_speed(self, report):
+        from repro.arch.presets import CARINA
+
+        assert report.h2d_pinned[-1] == pytest.approx(
+            CARINA.link.pinned_bandwidth, rel=0.15
+        )
+
+    def test_small_transfers_latency_bound(self, report):
+        # small copies achieve a small fraction of peak
+        assert report.h2d_pinned[0] < report.h2d_pinned[-1] / 2
+
+    def test_pageable_slower(self, report):
+        assert all(
+            g < p for g, p in zip(report.h2d_pageable, report.h2d_pinned)
+        )
+
+    def test_d2d_fastest(self, report):
+        assert report.d2d[-1] > 10 * report.h2d_pinned[-1]
+
+    def test_monotone_with_size(self, report):
+        assert report.h2d_pinned == sorted(report.h2d_pinned)
+
+    def test_render(self, report):
+        out = report.render()
+        assert "H2D pinned" in out
+        assert "GB/s" in out

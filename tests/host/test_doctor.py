@@ -1,0 +1,113 @@
+"""The performance doctor detects each microbenchmark's pathology."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import FORNAX
+from repro.host.doctor import diagnose
+from repro.host.runtime import CudaLite
+from repro.kernels.axpy import axpy_block, axpy_cyclic, axpy_misaligned
+from repro.kernels.matadd import matadd_constant_scatter
+from repro.kernels.reduction import reduce_interleaved_bc, reduce_sequential
+from repro.core.warpdiv import wd_kernel
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+@pytest.fixture
+def data(rng):
+    n = 1 << 18
+    return rng.random(n, dtype=np.float32), rng.random(n, dtype=np.float32), n
+
+
+class TestDetection:
+    def test_uncoalesced_flagged(self, rt, data):
+        hx, hy, n = data
+        x, y = rt.to_device(hx), rt.to_device(hy)
+        stats = rt.launch(axpy_block, 64, 256, x, y, n, 2.0)
+        rt.synchronize()
+        found = diagnose(stats, rt.gpu)
+        assert "uncoalesced-access" in rules(found)
+        assert any(f.severity == "critical" for f in found)
+        assert any(f.benchmark.startswith("CoMem") for f in found)
+
+    def test_clean_kernel_mostly_quiet(self, rt, data):
+        hx, hy, n = data
+        x, y = rt.to_device(hx), rt.to_device(hy)
+        stats = rt.launch(axpy_cyclic, 1024, 256, x, y, n, 2.0)
+        rt.synchronize()
+        found = diagnose(stats, rt.gpu)
+        assert "uncoalesced-access" not in rules(found)
+        assert "warp-divergence" not in rules(found)
+
+    def test_misalignment_flagged(self, rt, data):
+        hx, hy, n = data
+        x = rt.to_device(hx, offset=4)
+        y = rt.to_device(hy, offset=4)
+        stats = rt.launch(axpy_misaligned, n // 256, 256, x, y, n, 2.0)
+        rt.synchronize()
+        assert "misaligned-access" in rules(diagnose(stats, rt.gpu))
+
+    def test_divergence_flagged(self, rt, data):
+        hx, hy, n = data
+        x, y, z = rt.to_device(hx), rt.to_device(hy), rt.malloc(n)
+        stats = rt.launch(wd_kernel, n // 256, 256, x, y, z)
+        rt.synchronize()
+        found = diagnose(stats, rt.gpu)
+        assert "warp-divergence" in rules(found)
+        assert any("WarpDivRedux" in f.benchmark for f in found)
+
+    def test_bank_conflicts_flagged(self, rt, rng):
+        n = 1 << 16
+        x = rt.to_device(rng.random(n, dtype=np.float32))
+        r = rt.malloc(n // 256)
+        s_bc = rt.launch(reduce_interleaved_bc, n // 256, 256, x, r)
+        s_ok = rt.launch(reduce_sequential, n // 256, 256, x, r)
+        rt.synchronize()
+        assert "shared-bank-conflicts" in rules(diagnose(s_bc, rt.gpu))
+        assert "shared-bank-conflicts" not in rules(diagnose(s_ok, rt.gpu))
+
+    def test_constant_scatter_flagged(self, rt, rng):
+        n = 1024
+        ha = rng.random(n, dtype=np.float32)
+        a_const = rt.const_array(ha)
+        b, c = rt.to_device(ha), rt.malloc(n)
+        stats = rt.launch(matadd_constant_scatter, n // 256, 256, a_const, b, c, n)
+        rt.synchronize()
+        assert "constant-scatter" in rules(diagnose(stats, rt.gpu))
+
+    def test_undersized_grid_flagged(self, rt, data):
+        hx, hy, n = data
+        x, y = rt.to_device(hx), rt.to_device(hy)
+        stats = rt.launch(axpy_cyclic, 4, 256, x, y, n, 2.0)
+        rt.synchronize()
+        assert "undersized-grid" in rules(diagnose(stats, rt.gpu))
+
+    def test_kepler_read_path_flagged(self, rng):
+        rt = CudaLite(FORNAX)
+        n = 1 << 16
+        x = rt.to_device(rng.random(n, dtype=np.float32))
+        y = rt.to_device(rng.random(n, dtype=np.float32))
+        stats = rt.launch(axpy_cyclic, 64, 256, x, y, n, 2.0)
+        rt.synchronize()
+        assert "uncached-read-path" in rules(diagnose(stats, rt.gpu))
+
+    def test_findings_sorted_by_severity(self, rt, data):
+        hx, hy, n = data
+        x, y = rt.to_device(hx), rt.to_device(hy)
+        stats = rt.launch(axpy_block, 4, 256, x, y, n, 2.0)
+        rt.synchronize()
+        found = diagnose(stats, rt.gpu)
+        sev_rank = {"critical": 0, "warning": 1, "info": 2}
+        ranks = [sev_rank[f.severity] for f in found]
+        assert ranks == sorted(ranks)
+
+    def test_str_mentions_benchmark(self, rt, data):
+        hx, hy, n = data
+        x, y = rt.to_device(hx), rt.to_device(hy)
+        stats = rt.launch(axpy_block, 64, 256, x, y, n, 2.0)
+        rt.synchronize()
+        text = str(diagnose(stats, rt.gpu)[0])
+        assert "CoMem" in text or "uncoalesced" in text

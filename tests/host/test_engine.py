@@ -1,0 +1,189 @@
+"""Discrete-event engine: ordering, engines, concurrency, deadlock."""
+
+import pytest
+
+from repro.arch.presets import CARINA
+from repro.common.errors import StreamError
+from repro.host.engine import DeviceEngine
+from repro.host.stream import Event, Op, Stream
+from repro.host.timeline import Timeline
+
+
+@pytest.fixture
+def engine():
+    return DeviceEngine(CARINA, Timeline())
+
+
+def stream(engine, name=None):
+    s = Stream(None, name=name)
+    engine.register_stream(s)
+    return s
+
+
+def kernel_op(s, name="k", dur=1e-3, sm_demand=80):
+    return Op(kind="kernel", name=name, stream=s, duration=dur, sm_demand=sm_demand)
+
+
+def copy_op(s, kind="h2d", name="c", dur=1e-3):
+    return Op(kind=kind, name=name, stream=s, duration=dur, nbytes=0)
+
+
+class TestInOrder:
+    def test_same_stream_serializes(self, engine):
+        s = stream(engine)
+        ops = [kernel_op(s, f"k{i}") for i in range(3)]
+        for op in ops:
+            engine.submit(op)
+        total = engine.run_until_idle()
+        assert total == pytest.approx(3e-3)
+        assert ops[0].end_time <= ops[1].start_time <= ops[2].start_time
+
+    def test_copy_then_kernel_ordered(self, engine):
+        s = stream(engine)
+        c = copy_op(s)
+        k = kernel_op(s)
+        engine.submit(c)
+        engine.submit(k)
+        engine.run_until_idle()
+        assert k.start_time >= c.end_time
+
+
+class TestConcurrency:
+    def test_streams_overlap_kernels(self, engine):
+        s1, s2 = stream(engine), stream(engine)
+        k1 = kernel_op(s1, sm_demand=10)
+        k2 = kernel_op(s2, sm_demand=10)
+        engine.submit(k1)
+        engine.submit(k2)
+        total = engine.run_until_idle()
+        assert total == pytest.approx(1e-3)
+
+    def test_sm_exhaustion_serializes(self, engine):
+        s1, s2 = stream(engine), stream(engine)
+        k1 = kernel_op(s1, sm_demand=80)
+        k2 = kernel_op(s2, sm_demand=80)
+        engine.submit(k1)
+        engine.submit(k2)
+        engine.run_until_idle()
+        # second kernel gets the leftover... none: starts after k1
+        assert k2.start_time >= k1.end_time or k2.granted_sms < 80
+
+    def test_partial_grant(self, engine):
+        granted = {}
+
+        def timing_fn(g):
+            granted["g"] = g
+            return 1e-3
+
+        s1, s2 = stream(engine), stream(engine)
+        engine.submit(kernel_op(s1, sm_demand=60))
+        engine.submit(
+            Op(kind="kernel", name="k2", stream=s2, timing_fn=timing_fn, sm_demand=60)
+        )
+        engine.run_until_idle()
+        assert granted["g"] == 20  # leftover SMs
+
+    def test_max_concurrent_kernels(self, engine):
+        streams = [stream(engine) for _ in range(40)]
+        ops = [kernel_op(s, sm_demand=1) for s in streams]
+        for op in ops:
+            engine.submit(op)
+        engine.run_until_idle()
+        cap = CARINA.gpu.max_concurrent_kernels
+        first_wave = sum(1 for op in ops if op.start_time == 0.0)
+        assert first_wave == cap
+
+
+class TestCopyEngines:
+    def test_h2d_d2h_overlap(self, engine):
+        s1, s2 = stream(engine), stream(engine)
+        c1 = copy_op(s1, "h2d")
+        c2 = copy_op(s2, "d2h")
+        engine.submit(c1)
+        engine.submit(c2)
+        assert engine.run_until_idle() == pytest.approx(1e-3)
+
+    def test_same_direction_serializes(self, engine):
+        s1, s2 = stream(engine), stream(engine)
+        engine.submit(copy_op(s1, "h2d"))
+        engine.submit(copy_op(s2, "h2d"))
+        assert engine.run_until_idle() == pytest.approx(2e-3)
+
+    def test_single_engine_mode(self):
+        system = CARINA.evolve(gpu=CARINA.gpu.evolve(copy_engines=1))
+        engine = DeviceEngine(system, Timeline())
+        s1 = Stream(None)
+        s2 = Stream(None)
+        engine.register_stream(s1)
+        engine.register_stream(s2)
+        engine.submit(copy_op(s1, "h2d"))
+        engine.submit(copy_op(s2, "d2h"))
+        assert engine.run_until_idle() == pytest.approx(2e-3)
+
+    def test_copy_and_kernel_overlap(self, engine):
+        s1, s2 = stream(engine), stream(engine)
+        engine.submit(copy_op(s1, "h2d", dur=2e-3))
+        engine.submit(kernel_op(s2, dur=2e-3))
+        assert engine.run_until_idle() == pytest.approx(2e-3)
+
+
+class TestEvents:
+    def test_record_and_wait(self, engine):
+        s1, s2 = stream(engine), stream(engine)
+        ev = Event("e")
+        k1 = kernel_op(s1, "producer")
+        engine.submit(k1)
+        ev.recorded = True
+        engine.submit(Op(kind="event_record", name="rec", stream=s1, event=ev))
+        engine.submit(Op(kind="event_wait", name="wait", stream=s2, event=ev))
+        k2 = kernel_op(s2, "consumer")
+        engine.submit(k2)
+        engine.run_until_idle()
+        assert ev.done_time == pytest.approx(1e-3)
+        assert k2.start_time >= k1.end_time
+
+    def test_wait_on_unrecorded_event_passes(self, engine):
+        s = stream(engine)
+        ev = Event("never")
+        engine.submit(Op(kind="event_wait", name="w", stream=s, event=ev))
+        k = kernel_op(s)
+        engine.submit(k)
+        engine.run_until_idle()
+        assert k.done
+
+    def test_deadlock_detected(self, engine):
+        s1, s2 = stream(engine), stream(engine)
+        e1, e2 = Event("a"), Event("b")
+        e1.recorded = e2.recorded = True
+        # each stream waits on the event the other records afterwards
+        engine.submit(Op(kind="event_wait", name="w1", stream=s1, event=e2))
+        engine.submit(Op(kind="event_record", name="r1", stream=s1, event=e1))
+        engine.submit(Op(kind="event_wait", name="w2", stream=s2, event=e1))
+        engine.submit(Op(kind="event_record", name="r2", stream=s2, event=e2))
+        with pytest.raises(StreamError):
+            engine.run_until_idle()
+
+
+class TestTimelineIntegration:
+    def test_events_logged(self, engine):
+        s = stream(engine, "s")
+        engine.submit(kernel_op(s))
+        engine.submit(copy_op(s))
+        engine.run_until_idle()
+        kinds = {e.kind for e in engine.timeline.events}
+        assert kinds == {"kernel", "h2d"}
+
+    def test_drop_completed(self, engine):
+        s = stream(engine)
+        engine.submit(kernel_op(s))
+        engine.run_until_idle()
+        engine.drop_completed()
+        assert s.queue == []
+
+    def test_clock_monotonic_across_batches(self, engine):
+        s = stream(engine)
+        engine.submit(kernel_op(s))
+        t1 = engine.run_until_idle()
+        engine.submit(kernel_op(s))
+        t2 = engine.run_until_idle()
+        assert t2 == pytest.approx(t1 + 1e-3)

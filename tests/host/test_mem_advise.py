@@ -1,0 +1,97 @@
+"""cudaMemAdvise(read_mostly): the paper's future-work UM optimization."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.simt.kernel import kernel
+
+
+@kernel
+def read_sum(ctx, x, out, n):
+    """Reads x, writes only the tiny out array."""
+    i = ctx.global_thread_id()
+
+    def body():
+        v = ctx.load(x, i)
+        ctx.if_active((i % ctx.block.x) == 0, lambda: ctx.store(out, i // ctx.block.x, v))
+
+    ctx.if_active(i < n, body)
+
+
+def migrations(rt):
+    return [e for e in rt.timeline.events if e.kind == "migrate"]
+
+
+class TestReadMostly:
+    def test_no_remigration_after_host_read(self, rt, rng):
+        n = 1 << 18
+        hx = rng.random(n, dtype=np.float32)
+        x = rt.malloc_managed(n)
+        x.fill_from(hx)
+        out = rt.malloc_managed(n // 256)
+        rt.mem_advise(x, "read_mostly")
+
+        rt.launch(read_sum, n // 256, 256, x, out, n)
+        rt.managed_to_host(x)   # host reads x between launches
+        rt.synchronize()
+        rt.reset()
+        rt.launch(read_sum, n // 256, 256, x, out, n)
+        rt.synchronize()
+        # x's pages stayed duplicated: only `out` pages migrate again
+        moved = sum(e for e in [m.duration for m in migrations(rt)])
+        page = rt.gpu.um_page_bytes
+        assert all("1p" in m.name or "->dev" in m.name for m in migrations(rt))
+        x_pages = x.nbytes // page
+        total_pages = sum(int(m.name.split("p")[0].split()[-1]) for m in migrations(rt))
+        assert total_pages < x_pages / 4
+        assert moved >= 0
+
+    def test_without_advice_remigrates(self, rt, rng):
+        n = 1 << 18
+        x = rt.malloc_managed(n)
+        x.fill_from(rng.random(n, dtype=np.float32))
+        out = rt.malloc_managed(n // 256)
+        rt.launch(read_sum, n // 256, 256, x, out, n)
+        rt.managed_to_host(x)
+        rt.synchronize()
+        rt.reset()
+        rt.launch(read_sum, n // 256, 256, x, out, n)
+        rt.synchronize()
+        page = rt.gpu.um_page_bytes
+        total_pages = sum(int(m.name.split("p")[0].split()[-1]) for m in migrations(rt))
+        assert total_pages >= x.nbytes // page  # x faulted back over
+
+    def test_written_pages_lose_duplication(self, rt, rng):
+        from repro.core.unimem import UniMem  # noqa: F401 (doc pointer)
+
+        n = 1 << 16
+        x = rt.malloc_managed(n)
+        rt.mem_advise(x, "read_mostly")
+
+        @kernel
+        def write_all(ctx, x, n):
+            i = ctx.global_thread_id()
+            ctx.if_active(i < n, lambda: ctx.store(x, i, 1.0))
+
+        rt.launch(write_all, n // 256, 256, x, n)
+        rt.managed_to_host(x)  # dirty pages come back AND drop duplication
+        rt.synchronize()
+        rt.reset()
+        rt.launch(write_all, n // 256, 256, x, n)
+        rt.synchronize()
+        assert migrations(rt)  # pages had to fault over again
+
+    def test_unset(self, rt):
+        x = rt.malloc_managed(1024)
+        rt.mem_advise(x, "read_mostly")
+        rt.mem_advise(x, "unset_read_mostly")
+        assert not rt._managed[x.alloc.addr].read_mostly
+
+    def test_guards(self, rt):
+        plain = rt.malloc(64)
+        with pytest.raises(MemoryError_):
+            rt.mem_advise(plain, "read_mostly")
+        managed = rt.malloc_managed(64)
+        with pytest.raises(MemoryError_):
+            rt.mem_advise(managed, "make_fast")

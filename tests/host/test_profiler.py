@@ -1,0 +1,65 @@
+"""Profiler report and per-kernel metrics."""
+
+import numpy as np
+import pytest
+
+from repro.host.profiler import build_report, kernel_metrics
+from repro.simt.kernel import kernel
+
+
+@kernel
+def divergent(ctx, x, n):
+    tid = ctx.global_thread_id()
+    ctx.branch(
+        (tid % 2) == 0,
+        lambda: ctx.store(x, tid, 1.0),
+        lambda: ctx.store(x, tid, 2.0),
+    )
+
+
+@kernel
+def clean(ctx, x, n):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(x, i, 1.0))
+
+
+class TestKernelMetrics:
+    def test_divergent_kernel_flagged(self, rt):
+        x = rt.to_device(np.zeros(1024, dtype=np.float32))
+        stats = rt.launch(divergent, 4, 256, x, 1024)
+        rt.synchronize()
+        m = kernel_metrics(stats, rt.gpu)
+        assert m["warp_execution_efficiency"] < 1.0
+        assert m["branch_efficiency"] == 0.0
+
+    def test_clean_kernel_full_efficiency(self, rt):
+        x = rt.to_device(np.zeros(1024, dtype=np.float32))
+        stats = rt.launch(clean, 4, 256, x, 1024)
+        rt.synchronize()
+        m = kernel_metrics(stats, rt.gpu)
+        assert m["warp_execution_efficiency"] == 1.0
+        assert m["transactions_per_request"] == pytest.approx(1.0)
+        assert 0 < m["achieved_occupancy"] <= 1.0
+
+
+class TestBuildReport:
+    def test_aggregates_calls(self, rt):
+        x = rt.to_device(np.zeros(1024, dtype=np.float32))
+        for _ in range(3):
+            rt.launch(clean, 4, 256, x, 1024)
+        rt.synchronize()
+        report = build_report(rt.kernel_log, rt.gpu)
+        line = [l for l in report.splitlines() if l.startswith("clean")][0]
+        assert " 3 " in f" {line} "
+
+    def test_multiple_kernels_sorted(self, rt):
+        x = rt.to_device(np.zeros(1024, dtype=np.float32))
+        rt.launch(divergent, 4, 256, x, 1024)
+        rt.launch(clean, 4, 256, x, 1024)
+        rt.synchronize()
+        report = build_report(rt.kernel_log, rt.gpu)
+        assert report.index("clean") < report.index("divergent")
+
+    def test_empty_log(self, rt):
+        report = build_report([], rt.gpu)
+        assert "kernel" in report

@@ -1,0 +1,325 @@
+"""CudaLite runtime: memory API, copies, launches, streams, UM, graphs."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import FORNAX, TESLA_V100
+from repro.common.errors import (
+    GraphError,
+    LaunchConfigError,
+    MemoryError_,
+    StreamError,
+)
+from repro.host.runtime import CudaLite
+from repro.simt.kernel import kernel
+
+
+@kernel
+def double_it(ctx, x, n):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(x, i, 2.0 * ctx.load(x, i)))
+
+
+@kernel
+def touch_strided(ctx, x, n, stride):
+    i = ctx.global_thread_id() * stride
+    ctx.if_active(i < n, lambda: ctx.store(x, i, ctx.load(x, i) + 1.0))
+
+
+class TestMemoryAPI:
+    def test_malloc_shapes(self, rt):
+        a = rt.malloc((4, 8), np.float64)
+        assert a.shape == (4, 8)
+        assert a.dtype == np.float64
+
+    def test_to_device_roundtrip(self, rt, rng):
+        h = rng.random(100, dtype=np.float32)
+        d = rt.to_device(h)
+        assert np.array_equal(d.to_host(), h)
+
+    def test_free(self, rt):
+        a = rt.malloc(16)
+        rt.free(a)
+        assert rt.allocator.live_allocations == 0
+
+    def test_const_array_limit(self, rt):
+        rt.const_array(np.zeros(16000, dtype=np.float32))  # 64000 B
+        with pytest.raises(MemoryError_):
+            rt.const_array(np.zeros(1024, dtype=np.float32))
+
+    def test_texture_1d_requires_1d(self, rt):
+        with pytest.raises(MemoryError_):
+            rt.texture_1d(np.zeros((4, 4), dtype=np.float32))
+
+    def test_texture_2d_requires_2d(self, rt):
+        with pytest.raises(MemoryError_):
+            rt.texture_2d(np.zeros(4, dtype=np.float32))
+
+    def test_texture_2d_content(self, rt, rng):
+        h = rng.random((16, 16), dtype=np.float32)
+        view = rt.texture_2d(h)
+        yy, xx = np.mgrid[0:16, 0:16]
+        idx = view.flat_index_2d(xx.ravel(), yy.ravel())
+        assert np.array_equal(view.storage.to_host()[idx], h.ravel())
+
+
+class TestCopies:
+    def test_h2d_functional_and_timed(self, rt, rng):
+        h = rng.random(1024, dtype=np.float32)
+        d = rt.malloc(1024)
+        with rt.timer() as t:
+            rt.memcpy_h2d(d, h, pinned=True)
+        assert np.array_equal(d.to_host(), h)
+        assert t.elapsed >= rt.link.transfer_time(4096)
+
+    def test_d2h_returns_copy(self, rt, rng):
+        h = rng.random(64, dtype=np.float32)
+        d = rt.to_device(h)
+        out = rt.memcpy_d2h(d)
+        rt.synchronize()
+        assert np.array_equal(out, h)
+
+    def test_d2d(self, rt, rng):
+        h = rng.random(64, dtype=np.float32)
+        a = rt.to_device(h)
+        b = rt.malloc(64)
+        rt.memcpy_d2d(b, a)
+        rt.synchronize()
+        assert np.array_equal(b.to_host(), h)
+
+    def test_d2d_size_mismatch(self, rt):
+        with pytest.raises(MemoryError_):
+            rt.memcpy_d2d(rt.malloc(8), rt.malloc(16))
+
+    def test_pageable_slower_than_pinned(self, rt, rng):
+        h = rng.random(1 << 20, dtype=np.float32)
+        d = rt.malloc(1 << 20)
+        with rt.timer() as t_pin:
+            rt.memcpy_h2d(d, h, pinned=True)
+        with rt.timer() as t_page:
+            rt.memcpy_h2d(d, h, pinned=False)
+        assert t_page.elapsed > t_pin.elapsed
+
+
+class TestLaunch:
+    def test_functional(self, rt, rng):
+        h = rng.random(512, dtype=np.float32)
+        d = rt.to_device(h)
+        rt.launch(double_it, 2, 256, d, 512)
+        rt.synchronize()
+        assert np.allclose(d.to_host(), 2 * h)
+
+    def test_stats_returned(self, rt):
+        d = rt.to_device(np.zeros(64, dtype=np.float32))
+        stats = rt.launch(double_it, 2, 32, d, 64)
+        assert stats.threads == 64
+
+    def test_invalid_config_raises(self, rt):
+        d = rt.to_device(np.zeros(64, dtype=np.float32))
+        with pytest.raises(LaunchConfigError):
+            rt.launch(double_it, 1, 2048, d, 64)
+
+    def test_kernel_log_grows(self, rt):
+        d = rt.to_device(np.zeros(64, dtype=np.float32))
+        rt.launch(double_it, 2, 32, d, 64)
+        rt.launch(double_it, 2, 32, d, 64)
+        assert len(rt.kernel_log) == 2
+
+    def test_dynamic_parallelism_gate(self):
+        rt = CudaLite(FORNAX)
+        d = rt.to_device(np.zeros(64, dtype=np.float32))
+        # K80 supports dynamic parallelism (CC 3.7): should work
+        rt.launch_from_device(double_it, 2, 32, d, 64)
+
+    def test_timer_measures_kernel(self, rt):
+        d = rt.to_device(np.zeros(1 << 16, dtype=np.float32))
+        with rt.timer() as t:
+            rt.launch(double_it, 256, 256, d, 1 << 16)
+        assert t.elapsed > rt.gpu.kernel_launch_overhead_s
+
+
+class TestStreamsAndEvents:
+    def test_streams_overlap(self, rt):
+        n = 64 * 256
+        bufs = [rt.to_device(np.ones(n, dtype=np.float32)) for _ in range(2)]
+        with rt.timer() as t_serial:
+            for b in bufs:
+                rt.launch(double_it, 8, 256, b, n)
+        streams = [rt.stream() for _ in range(2)]
+        with rt.timer() as t_conc:
+            for b, s in zip(bufs, streams):
+                rt.launch(double_it, 8, 256, b, n, stream=s)
+        assert t_conc.elapsed < t_serial.elapsed
+
+    def test_event_elapsed(self, rt):
+        d = rt.to_device(np.zeros(1 << 14, dtype=np.float32))
+        e1, e2 = rt.event("a"), rt.event("b")
+        rt.record_event(e1)
+        rt.launch(double_it, 64, 256, d, 1 << 14)
+        rt.record_event(e2)
+        rt.synchronize()
+        assert e2.elapsed_since(e1) > 0
+
+    def test_elapsed_on_unrecorded_raises(self, rt):
+        e1, e2 = rt.event(), rt.event()
+        with pytest.raises(StreamError):
+            e2.elapsed_since(e1)
+
+    def test_cross_stream_wait(self, rt):
+        n = 1 << 14
+        d = rt.to_device(np.ones(n, dtype=np.float32))
+        s1, s2 = rt.stream("a"), rt.stream("b")
+        ev = rt.event()
+        rt.launch(double_it, 64, 256, d, n, stream=s1)
+        rt.record_event(ev, stream=s1)
+        rt.wait_event(ev, stream=s2)
+        rt.launch(double_it, 64, 256, d, n, stream=s2)
+        rt.synchronize()
+        k1, k2 = [op for _, op in rt.kernel_log]
+        assert k2.start_time >= k1.end_time
+
+
+class TestUnifiedMemory:
+    def test_managed_roundtrip(self, rt, rng):
+        h = rng.random(1 << 16, dtype=np.float32)
+        d = rt.malloc_managed(1 << 16)
+        d.fill_from(h)
+        rt.launch(double_it, 256, 256, d, 1 << 16)
+        out = rt.managed_to_host(d)
+        rt.synchronize()
+        assert np.allclose(out, 2 * h)
+
+    def test_migration_ops_scheduled(self, rt):
+        d = rt.malloc_managed(1 << 16)
+        rt.launch(double_it, 256, 256, d, 1 << 16)
+        rt.synchronize()
+        migrations = [e for e in rt.timeline.events if e.kind == "migrate"]
+        assert migrations
+
+    def test_sparse_touch_migrates_less(self, rt):
+        n = 1 << 20
+        stride = rt.gpu.um_page_bytes  # in elements: touches 1/page-ish
+        d1 = rt.malloc_managed(n)
+        with rt.timer() as t_dense:
+            rt.launch(touch_strided, (n + 255) // 256, 256, d1, n, 1)
+        d2 = rt.malloc_managed(n)
+        threads = -(-n // stride)
+        with rt.timer() as t_sparse:
+            rt.launch(touch_strided, (threads + 255) // 256, 256, d2, n, stride)
+        assert t_sparse.elapsed < t_dense.elapsed
+
+    def test_prefetch_avoids_faults(self, rt):
+        n = 1 << 18
+        d = rt.malloc_managed(n)
+        rt.prefetch(d)
+        rt.synchronize()
+        rt.reset()
+        with rt.timer():
+            rt.launch(double_it, (n + 255) // 256, 256, d, n)
+        assert not [e for e in rt.timeline.events if e.kind == "migrate"]
+
+    def test_managed_api_guards(self, rt):
+        plain = rt.malloc(64)
+        with pytest.raises(MemoryError_):
+            rt.managed_to_host(plain)
+        with pytest.raises(MemoryError_):
+            rt.prefetch(plain)
+
+
+class TestGraphs:
+    def test_capture_and_launch(self, rt):
+        d = rt.to_device(np.ones(1024, dtype=np.float32))
+        rt.graph_capture_begin()
+        for _ in range(3):
+            rt.launch(double_it, 4, 256, d, 1024)
+        g = rt.graph_capture_end().instantiate()
+        assert len(g) == 3
+        with rt.timer() as t:
+            rt.graph_launch(g)
+        assert t.elapsed > 0
+        graph_events = [e for e in rt.timeline.events if "[graph]" in e.name]
+        assert len(graph_events) == 3
+
+    def test_graph_cheaper_than_launches(self, rt):
+        d = rt.to_device(np.ones(1024, dtype=np.float32))
+        with rt.timer() as t_launch:
+            for _ in range(8):
+                rt.launch(double_it, 4, 256, d, 1024)
+        rt.graph_capture_begin()
+        for _ in range(8):
+            rt.launch(double_it, 4, 256, d, 1024)
+        g = rt.graph_capture_end().instantiate()
+        with rt.timer() as t_graph:
+            rt.graph_launch(g)
+        assert t_graph.elapsed < t_launch.elapsed
+
+    def test_capture_nesting_rejected(self, rt):
+        rt.graph_capture_begin()
+        with pytest.raises(GraphError):
+            rt.graph_capture_begin()
+        rt.graph_capture_end()
+
+    def test_end_without_begin(self, rt):
+        with pytest.raises(GraphError):
+            rt.graph_capture_end()
+
+    def test_sync_during_capture_rejected(self, rt):
+        rt.graph_capture_begin()
+        with pytest.raises(StreamError):
+            rt.synchronize()
+        rt.graph_capture_end()
+
+    def test_empty_graph_rejected(self, rt):
+        rt.graph_capture_begin()
+        g = rt.graph_capture_end()
+        with pytest.raises(GraphError):
+            g.instantiate()
+
+    def test_launch_uninstantiated_rejected(self, rt):
+        rt.graph_capture_begin()
+        d = rt.to_device(np.ones(64, dtype=np.float32))
+        rt.launch(double_it, 2, 32, d, 64)
+        g = rt.graph_capture_end()
+        with pytest.raises(GraphError):
+            rt.graph_launch(g)  # TaskGraph, not ExecGraph
+
+    def test_k80_graphs_unsupported(self):
+        rt = CudaLite(FORNAX)
+        with pytest.raises(GraphError):
+            rt.graph_capture_begin()
+
+    def test_add_after_instantiate_rejected(self, rt):
+        d = rt.to_device(np.ones(64, dtype=np.float32))
+        rt.graph_capture_begin()
+        rt.launch(double_it, 2, 32, d, 64)
+        g = rt.graph_capture_end()
+        g.instantiate()
+        from repro.host.graph import GraphNode
+
+        with pytest.raises(GraphError):
+            g.add(GraphNode(kind="kernel", name="x", submit=lambda s: None))
+
+
+class TestProfiler:
+    def test_report_contains_kernels(self, rt):
+        d = rt.to_device(np.zeros(1024, dtype=np.float32))
+        rt.launch(double_it, 4, 256, d, 1024)
+        rt.synchronize()
+        report = rt.profile_report()
+        assert "double_it" in report
+        assert "occupancy" in report
+
+    def test_reset(self, rt):
+        d = rt.to_device(np.zeros(1024, dtype=np.float32))
+        rt.launch(double_it, 4, 256, d, 1024)
+        rt.synchronize()
+        rt.reset()
+        assert rt.kernel_log == []
+        assert rt.timeline.events == []
+
+
+class TestGPUSpecConstructor:
+    def test_bare_gpu_spec_accepted(self):
+        rt = CudaLite(TESLA_V100)
+        assert rt.gpu is TESLA_V100
+        assert rt.link is not None

@@ -1,0 +1,83 @@
+"""Timeline log and ASCII rendering."""
+
+import pytest
+
+from repro.host.timeline import Timeline
+
+
+@pytest.fixture
+def tl():
+    t = Timeline()
+    t.add("k1", "kernel", "stream 1", 0.0, 1.0)
+    t.add("k2", "kernel", "stream 2", 0.5, 1.5)
+    t.add("c", "h2d", "copy H2D", 0.0, 0.25)
+    return t
+
+
+class TestBookkeeping:
+    def test_span(self, tl):
+        assert tl.span == (0.0, 1.5)
+
+    def test_empty_span(self):
+        assert Timeline().span == (0.0, 0.0)
+
+    def test_lanes_order(self, tl):
+        assert tl.lanes() == ["stream 1", "stream 2", "copy H2D"]
+
+    def test_invalid_event(self):
+        with pytest.raises(ValueError):
+            Timeline().add("x", "kernel", "s", 1.0, 0.5)
+
+    def test_clear(self, tl):
+        tl.clear()
+        assert tl.events == []
+
+
+class TestBusyTime:
+    def test_single_lane(self, tl):
+        assert tl.busy_time("stream 1") == pytest.approx(1.0)
+
+    def test_merges_overlaps(self):
+        t = Timeline()
+        t.add("a", "kernel", "s", 0.0, 1.0)
+        t.add("b", "kernel", "s", 0.5, 2.0)
+        assert t.busy_time("s") == pytest.approx(2.0)
+
+    def test_gaps_not_counted(self):
+        t = Timeline()
+        t.add("a", "kernel", "s", 0.0, 1.0)
+        t.add("b", "kernel", "s", 3.0, 4.0)
+        assert t.busy_time("s") == pytest.approx(2.0)
+
+    def test_all_lanes_union(self, tl):
+        assert tl.busy_time() == pytest.approx(1.5)
+
+
+class TestRender:
+    def test_ascii_has_all_lanes(self, tl):
+        out = tl.render_ascii(40)
+        assert "stream 1" in out and "copy H2D" in out
+
+    def test_overlap_visible(self, tl):
+        out = tl.render_ascii(40)
+        lines = {l.split("|")[0].strip(): l for l in out.splitlines() if "|" in l}
+        s1 = lines["stream 1"].split("|")[1]
+        s2 = lines["stream 2"].split("|")[1]
+        # stream 1 busy at the start, stream 2 not yet
+        assert s1[0] == "#" and s2[0] == " "
+
+    def test_empty(self):
+        assert Timeline().render_ascii() == "(empty timeline)"
+
+    def test_short_event_visible(self):
+        t = Timeline()
+        t.add("long", "kernel", "s", 0.0, 100.0)
+        t.add("tiny", "kernel", "t", 0.0, 1e-6)
+        out = t.render_ascii(50)
+        tiny_line = [l for l in out.splitlines() if l.startswith("t")][0]
+        assert "|" in tiny_line.split("|", 1)[1] or "#" in tiny_line
+
+    def test_summary(self, tl):
+        out = tl.summary()
+        assert "3 events" in out
+        assert "stream 1" in out

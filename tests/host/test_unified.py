@@ -1,0 +1,131 @@
+"""Unified-memory residency and migration model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import CARINA
+from repro.common.errors import MemoryError_
+from repro.host.unified import (
+    ManagedState,
+    contiguous_groups,
+    migration_time,
+    UM_FAULT_CONCURRENCY,
+)
+from repro.mem.allocator import DeviceAllocator
+
+GPU = CARINA.gpu
+LINK = CARINA.link
+PAGE = GPU.um_page_bytes
+
+
+@pytest.fixture
+def state():
+    alloc = DeviceAllocator(1 << 30).malloc(64 * PAGE, managed=True)
+    return ManagedState(alloc, PAGE)
+
+
+class TestContiguousGroups:
+    def test_empty(self):
+        assert contiguous_groups(np.array([], dtype=np.int64)) == 0
+
+    def test_single_run(self):
+        assert contiguous_groups(np.arange(10)) == 1
+
+    def test_isolated(self):
+        assert contiguous_groups(np.array([0, 2, 4, 6])) == 4
+
+    def test_mixed(self):
+        assert contiguous_groups(np.array([0, 1, 2, 10, 11, 50])) == 3
+
+    def test_unsorted_input(self):
+        assert contiguous_groups(np.array([5, 1, 2, 0])) == 2
+
+
+class TestMigrationTime:
+    def test_zero_pages_free(self):
+        assert migration_time(0, 0, PAGE, LINK, GPU) == 0.0
+
+    def test_scales_with_bytes(self):
+        t1 = migration_time(10, 1, PAGE, LINK, GPU)
+        t2 = migration_time(20, 1, PAGE, LINK, GPU)
+        assert t2 > t1
+
+    def test_groups_add_fault_overhead(self):
+        dense = migration_time(64, 1, PAGE, LINK, GPU)
+        sparse = migration_time(64, 64, PAGE, LINK, GPU)
+        rounds = -(-64 // UM_FAULT_CONCURRENCY)
+        assert sparse - dense == pytest.approx(
+            (rounds - 1) * GPU.um_fault_overhead_s
+        )
+
+
+class TestManagedState:
+    def test_requires_managed_alloc(self):
+        alloc = DeviceAllocator(1 << 20).malloc(PAGE)
+        with pytest.raises(MemoryError_):
+            ManagedState(alloc, PAGE)
+
+    def test_first_touch_migrates(self, state):
+        plan = state.plan_device_access(
+            np.array([0, 1, 2]), np.array([], dtype=np.int64), LINK, GPU
+        )
+        assert plan.n_pages == 3
+        assert plan.direction == "h2d"
+        assert plan.nbytes == 3 * PAGE
+
+    def test_second_touch_free(self, state):
+        pages = np.array([0, 1, 2])
+        none = np.array([], dtype=np.int64)
+        state.plan_device_access(pages, none, LINK, GPU)
+        plan = state.plan_device_access(pages, none, LINK, GPU)
+        assert plan.empty
+
+    def test_writes_marked_dirty(self, state):
+        state.plan_device_access(
+            np.array([], dtype=np.int64), np.array([3, 4]), LINK, GPU
+        )
+        back = state.plan_host_access(LINK, GPU)
+        assert back.n_pages == 2
+        assert back.direction == "d2h"
+
+    def test_clean_pages_not_copied_back(self, state):
+        state.plan_device_access(np.array([0, 1]), np.array([], np.int64), LINK, GPU)
+        back = state.plan_host_access(LINK, GPU)
+        assert back.empty
+
+    def test_host_access_resets_residency(self, state):
+        pages = np.array([0, 1])
+        none = np.array([], dtype=np.int64)
+        state.plan_device_access(pages, none, LINK, GPU)
+        state.plan_host_access(LINK, GPU)
+        plan = state.plan_device_access(pages, none, LINK, GPU)
+        assert plan.n_pages == 2  # faulted over again
+
+    def test_page_out_of_range(self, state):
+        with pytest.raises(MemoryError_):
+            state.plan_device_access(
+                np.array([10_000]), np.array([], np.int64), LINK, GPU
+            )
+
+    def test_prefetch_all(self, state):
+        plan = state.prefetch_all(LINK, GPU)
+        assert plan.n_pages == state.n_pages
+        assert plan.n_groups == 1
+        # everything resident afterwards
+        assert state.plan_device_access(
+            np.arange(4), np.array([], np.int64), LINK, GPU
+        ).empty
+
+    def test_prefetch_after_touch_moves_rest(self, state):
+        state.plan_device_access(np.array([0]), np.array([], np.int64), LINK, GPU)
+        plan = state.prefetch_all(LINK, GPU)
+        assert plan.n_pages == state.n_pages - 1
+
+    def test_sparse_touch_cheaper_than_dense(self, state):
+        none = np.array([], dtype=np.int64)
+        sparse = state.plan_device_access(np.arange(0, 64, 8), none, LINK, GPU)
+        state2 = ManagedState(
+            DeviceAllocator(1 << 30).malloc(64 * PAGE, managed=True), PAGE
+        )
+        dense = state2.plan_device_access(np.arange(64), none, LINK, GPU)
+        assert sparse.nbytes < dense.nbytes

@@ -1,0 +1,124 @@
+"""AXPY kernel family: correctness and access-pattern signatures."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import RTX3080_SYSTEM
+from repro.host.runtime import CudaLite
+from repro.kernels.axpy import (
+    axpy_1per_thread,
+    axpy_aligned,
+    axpy_block,
+    axpy_cyclic,
+    axpy_misaligned,
+    axpy_shared_async,
+    axpy_shared_staged,
+    axpy_strided,
+)
+
+N = 1 << 14
+A = 2.5
+
+
+@pytest.fixture
+def data(rng):
+    return rng.random(N, dtype=np.float32), rng.random(N, dtype=np.float32)
+
+
+def launch(rt, kdef, hx, hy, grid, block, *extra):
+    x = rt.to_device(hx)
+    y = rt.to_device(hy)
+    stats = rt.launch(kdef, grid, block, x, y, N, A, *extra)
+    rt.synchronize()
+    return stats, y.to_host()
+
+
+class TestCorrectness:
+    def test_1per_thread(self, rt, data):
+        hx, hy = data
+        _, out = launch(rt, axpy_1per_thread, hx, hy, N // 256, 256)
+        assert np.allclose(out, hy + A * hx, rtol=1e-6)
+
+    def test_block_distribution(self, rt, data):
+        hx, hy = data
+        _, out = launch(rt, axpy_block, hx, hy, 16, 256)
+        assert np.allclose(out, hy + A * hx, rtol=1e-6)
+
+    def test_cyclic_distribution(self, rt, data):
+        hx, hy = data
+        _, out = launch(rt, axpy_cyclic, hx, hy, 4, 256)
+        assert np.allclose(out, hy + A * hx, rtol=1e-6)
+
+    def test_block_and_cyclic_agree(self, rt, data):
+        hx, hy = data
+        _, out_b = launch(rt, axpy_block, hx, hy, 16, 256)
+        _, out_c = launch(rt, axpy_cyclic, hx, hy, 16, 256)
+        assert np.array_equal(out_b, out_c)
+
+    def test_aligned_skips_element_zero(self, rt, data):
+        hx, hy = data
+        _, out = launch(rt, axpy_aligned, hx, hy, N // 256, 256)
+        assert out[0] == hy[0]
+        assert np.allclose(out[1:], hy[1:] + A * hx[1:], rtol=1e-6)
+
+    def test_misaligned_matches_aligned(self, rt, data):
+        hx, hy = data
+        _, out_a = launch(rt, axpy_aligned, hx, hy, N // 256, 256)
+        _, out_m = launch(rt, axpy_misaligned, hx, hy, N // 256, 256)
+        assert np.array_equal(out_a, out_m)
+
+    @pytest.mark.parametrize("stride", [1, 7, 256, 4096])
+    def test_strided(self, rt, data, stride):
+        hx, hy = data
+        threads = -(-N // stride)
+        _, out = launch(
+            rt, axpy_strided, hx, hy, -(-threads // 256), 256, stride
+        )
+        expect = hy.copy()
+        idx = np.arange(0, N, stride)
+        expect[idx] += A * hx[idx]
+        assert np.allclose(out, expect, rtol=1e-6)
+
+    def test_shared_staged(self, rt, data):
+        hx, hy = data
+        _, out = launch(rt, axpy_shared_staged, hx, hy, N // 256, 256)
+        assert np.allclose(out, hy + A * hx, rtol=1e-6)
+
+    def test_shared_async_on_ampere(self, data):
+        rt = CudaLite(RTX3080_SYSTEM)
+        hx, hy = data
+        _, out = launch(rt, axpy_shared_async, hx, hy, N // 256, 256)
+        assert np.allclose(out, hy + A * hx, rtol=1e-6)
+
+    def test_shared_async_rejected_on_volta(self, rt, data):
+        from repro.common.errors import KernelRuntimeError
+
+        hx, hy = data
+        with pytest.raises(KernelRuntimeError):
+            launch(rt, axpy_shared_async, hx, hy, N // 256, 256)
+
+
+class TestAccessSignatures:
+    def test_cyclic_coalesced(self, rt, data):
+        hx, hy = data
+        stats, _ = launch(rt, axpy_cyclic, hx, hy, 4, 256)
+        assert stats.transactions / stats.global_requests == pytest.approx(1.0)
+
+    def test_block_uncoalesced(self, rt, data):
+        hx, hy = data
+        stats, _ = launch(rt, axpy_block, hx, hy, 16, 256)
+        assert stats.transactions / stats.global_requests > 3
+
+    def test_misaligned_doubles_transactions(self, rt, data):
+        hx, hy = data
+        s_al, _ = launch(rt, axpy_aligned, hx, hy, N // 256, 256)
+        s_mis, _ = launch(rt, axpy_misaligned, hx, hy, N // 256, 256)
+        assert s_mis.transactions > 1.8 * s_al.transactions
+
+    def test_async_skips_issue_work(self, data):
+        rt = CudaLite(RTX3080_SYSTEM)
+        hx, hy = data
+        s_sync, _ = launch(rt, axpy_shared_staged, hx, hy, N // 256, 256)
+        s_async, _ = launch(rt, axpy_shared_async, hx, hy, N // 256, 256)
+        assert s_async.issue_cycles < s_sync.issue_cycles
+        assert s_async.async_copy_bytes == N * 4

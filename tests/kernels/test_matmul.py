@@ -1,0 +1,91 @@
+"""Matmul kernels: correctness and traffic signatures."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import LaunchConfigError
+from repro.kernels.matmul import TILE, matmul_grid_for, matmul_naive, matmul_tiled
+from repro.timing.model import estimate_kernel_time
+
+
+def run_matmul(rt, kdef, ha, hb):
+    n = ha.shape[0]
+    a = rt.to_device(ha.ravel())
+    b = rt.to_device(hb.ravel())
+    c = rt.malloc(n * n)
+    grid, block = matmul_grid_for(n)
+    stats = rt.launch(kdef, grid, block, a, b, c, n)
+    rt.synchronize()
+    return stats, c.to_host().reshape(n, n)
+
+
+class TestGridHelper:
+    def test_grid_for(self):
+        grid, block = matmul_grid_for(64)
+        assert grid == (4, 4)
+        assert block == (TILE, TILE)
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            matmul_grid_for(100)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kdef", [matmul_naive, matmul_tiled], ids=lambda k: k.name)
+    @pytest.mark.parametrize("n", [16, 48, 64])
+    def test_against_numpy(self, rt, rng, kdef, n):
+        ha = rng.random((n, n), dtype=np.float32)
+        hb = rng.random((n, n), dtype=np.float32)
+        _, out = run_matmul(rt, kdef, ha, hb)
+        assert np.allclose(out, ha @ hb, rtol=1e-4, atol=1e-4)
+
+    def test_identity(self, rt, rng):
+        n = 32
+        ha = rng.random((n, n), dtype=np.float32)
+        _, out = run_matmul(rt, matmul_tiled, ha, np.eye(n, dtype=np.float32))
+        assert np.allclose(out, ha, rtol=1e-6)
+
+    def test_naive_and_tiled_agree(self, rt, rng):
+        n = 48
+        ha = rng.random((n, n), dtype=np.float32)
+        hb = rng.random((n, n), dtype=np.float32)
+        _, o1 = run_matmul(rt, matmul_naive, ha, hb)
+        _, o2 = run_matmul(rt, matmul_tiled, ha, hb)
+        assert np.allclose(o1, o2, rtol=1e-5)
+
+
+class TestSignatures:
+    def test_tiled_uses_shared(self, rt, rng):
+        n = 64
+        ha = rng.random((n, n), dtype=np.float32)
+        hb = rng.random((n, n), dtype=np.float32)
+        s_naive, _ = run_matmul(rt, matmul_naive, ha, hb)
+        s_tiled, _ = run_matmul(rt, matmul_tiled, ha, hb)
+        assert s_naive.shared_requests == 0
+        assert s_tiled.shared_requests > 0
+        assert s_tiled.shared_mem_per_block == 2 * TILE * TILE * 4
+
+    def test_tiled_no_bank_conflicts(self, rt, rng):
+        n = 64
+        ha = rng.random((n, n), dtype=np.float32)
+        hb = rng.random((n, n), dtype=np.float32)
+        s_tiled, _ = run_matmul(rt, matmul_tiled, ha, hb)
+        assert s_tiled.bank_conflict_extra == 0
+
+    def test_tiled_fewer_global_requests(self, rt, rng):
+        n = 64
+        ha = rng.random((n, n), dtype=np.float32)
+        hb = rng.random((n, n), dtype=np.float32)
+        s_naive, _ = run_matmul(rt, matmul_naive, ha, hb)
+        s_tiled, _ = run_matmul(rt, matmul_tiled, ha, hb)
+        assert s_tiled.global_requests < s_naive.global_requests / 4
+
+    def test_tiled_faster(self, rt, rng):
+        n = 128
+        ha = rng.random((n, n), dtype=np.float32)
+        hb = rng.random((n, n), dtype=np.float32)
+        s_naive, _ = run_matmul(rt, matmul_naive, ha, hb)
+        s_tiled, _ = run_matmul(rt, matmul_tiled, ha, hb)
+        t_naive = estimate_kernel_time(s_naive, rt.gpu).exec_s
+        t_tiled = estimate_kernel_time(s_tiled, rt.gpu).exec_s
+        assert t_tiled < t_naive

@@ -1,0 +1,81 @@
+"""Reduction kernels: correctness and shared/shuffle signatures."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import LaunchConfigError
+from repro.kernels.reduction import (
+    reduce_interleaved_bc,
+    reduce_sequential,
+    reduce_shuffle,
+)
+
+KERNELS = [reduce_interleaved_bc, reduce_sequential, reduce_shuffle]
+
+
+def run_reduce(rt, kdef, hx, block):
+    n = hx.shape[0]
+    x = rt.to_device(hx)
+    r = rt.malloc(n // block)
+    stats = rt.launch(kdef, n // block, block, x, r)
+    rt.synchronize()
+    return stats, r.to_host()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kdef", KERNELS, ids=lambda k: k.name)
+    @pytest.mark.parametrize("block", [32, 64, 256])
+    def test_partial_sums(self, rt, rng, kdef, block):
+        hx = rng.random(block * 16, dtype=np.float32)
+        _, partial = run_reduce(rt, kdef, hx, block)
+        expect = hx.reshape(-1, block).sum(axis=1)
+        assert np.allclose(partial, expect, rtol=1e-4)
+
+    @pytest.mark.parametrize("kdef", KERNELS, ids=lambda k: k.name)
+    def test_negative_values(self, rt, rng, kdef):
+        hx = (rng.random(1024, dtype=np.float32) - 0.5) * 10
+        _, partial = run_reduce(rt, kdef, hx, 256)
+        assert np.allclose(partial, hx.reshape(-1, 256).sum(axis=1), rtol=1e-3, atol=1e-4)
+
+    @pytest.mark.parametrize("kdef", KERNELS, ids=lambda k: k.name)
+    def test_non_pow2_block_rejected(self, rt, rng, kdef):
+        hx = rng.random(96 * 4, dtype=np.float32)
+        with pytest.raises(LaunchConfigError):
+            run_reduce(rt, kdef, hx, 96)
+
+    def test_all_agree(self, rt, rng):
+        hx = rng.random(4096, dtype=np.float32)
+        results = [run_reduce(rt, k, hx, 256)[1] for k in KERNELS]
+        assert np.allclose(results[0], results[1], rtol=1e-5)
+        assert np.allclose(results[1], results[2], rtol=1e-5)
+
+
+class TestSignatures:
+    def test_interleaved_has_conflicts(self, rt, rng):
+        hx = rng.random(4096, dtype=np.float32)
+        s_bc, _ = run_reduce(rt, reduce_interleaved_bc, hx, 256)
+        s_seq, _ = run_reduce(rt, reduce_sequential, hx, 256)
+        assert s_bc.bank_conflict_extra > 0
+        assert s_seq.bank_conflict_extra == 0
+        assert s_bc.shared_efficiency < s_seq.shared_efficiency
+
+    def test_shuffle_reduces_barriers(self, rt, rng):
+        hx = rng.random(4096, dtype=np.float32)
+        s_seq, _ = run_reduce(rt, reduce_sequential, hx, 256)
+        s_shfl, _ = run_reduce(rt, reduce_shuffle, hx, 256)
+        assert s_shfl.barriers < s_seq.barriers
+        assert s_shfl.shuffles > 0
+        assert s_seq.shuffles == 0
+
+    def test_shuffle_reduces_shared_traffic(self, rt, rng):
+        hx = rng.random(4096, dtype=np.float32)
+        s_seq, _ = run_reduce(rt, reduce_sequential, hx, 256)
+        s_shfl, _ = run_reduce(rt, reduce_shuffle, hx, 256)
+        assert s_shfl.shared_requests < s_seq.shared_requests
+
+    def test_conflict_degree_grows_with_stride(self, rt, rng):
+        # the interleaved kernel's later iterations have wider conflicts
+        hx = rng.random(1024, dtype=np.float32)
+        s_bc, _ = run_reduce(rt, reduce_interleaved_bc, hx, 256)
+        # total passes exceed 2x requests -> multi-way conflicts occurred
+        assert s_bc.shared_passes > 1.5 * s_bc.shared_requests

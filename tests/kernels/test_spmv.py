@@ -1,0 +1,130 @@
+"""SpMV kernels against the host CSR reference."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.spmv import spmv_csr, spmv_dense_row
+from repro.sparse.csr import random_sparse
+
+
+def run_dense(rt, csr, hx):
+    n = csr.n_rows
+    a = rt.to_device(csr.to_dense().ravel())
+    x = rt.to_device(hx)
+    y = rt.malloc(n)
+    stats = rt.launch(spmv_dense_row, (n + 255) // 256, 256, a, x, y, n)
+    rt.synchronize()
+    return stats, y.to_host()
+
+
+def run_csr(rt, csr, hx):
+    n = csr.n_rows
+    vals = rt.to_device(csr.values)
+    cols = rt.to_device(csr.col_idx)
+    rptr = rt.to_device(csr.row_ptr)
+    x = rt.to_device(hx)
+    y = rt.malloc(n)
+    stats = rt.launch(spmv_csr, (n + 255) // 256, 256, vals, cols, rptr, x, y, n)
+    rt.synchronize()
+    return stats, y.to_host()
+
+
+@pytest.fixture
+def workload(rng):
+    n = 256
+    csr = random_sparse(n, 2048, seed=5)
+    return csr, rng.random(n, dtype=np.float32)
+
+
+class TestCorrectness:
+    def test_dense(self, rt, workload):
+        csr, hx = workload
+        _, y = run_dense(rt, csr, hx)
+        assert np.allclose(y, csr.spmv(hx), rtol=1e-3, atol=1e-5)
+
+    def test_csr(self, rt, workload):
+        csr, hx = workload
+        _, y = run_csr(rt, csr, hx)
+        assert np.allclose(y, csr.spmv(hx), rtol=1e-3, atol=1e-5)
+
+    def test_agree(self, rt, workload):
+        csr, hx = workload
+        _, yd = run_dense(rt, csr, hx)
+        _, yc = run_csr(rt, csr, hx)
+        assert np.allclose(yd, yc, rtol=1e-3, atol=1e-5)
+
+    def test_empty_rows(self, rt, rng):
+        n = 64
+        csr = random_sparse(n, 8, seed=9)  # most rows empty
+        hx = rng.random(n, dtype=np.float32)
+        _, y = run_csr(rt, csr, hx)
+        assert np.allclose(y, csr.spmv(hx), rtol=1e-4)
+
+    def test_diagonal_matrix(self, rt, rng):
+        n = 64
+        from repro.sparse.csr import CSRMatrix
+
+        d = rng.random(n, dtype=np.float32)
+        csr = CSRMatrix.from_dense(np.diag(d))
+        hx = rng.random(n, dtype=np.float32)
+        _, y = run_csr(rt, csr, hx)
+        assert np.allclose(y, d * hx, rtol=1e-5)
+
+
+class TestSignatures:
+    def test_csr_needs_less_data(self, workload):
+        csr, _ = workload
+        assert csr.nbytes < csr.n_rows * csr.n_cols * 4 / 4
+
+    def test_csr_divergence_from_row_lengths(self, rt, workload):
+        csr, hx = workload
+        stats, _ = run_csr(rt, csr, hx)
+        # uneven rows make some warps idle while others loop
+        assert stats.warp_execution_efficiency < 1.0
+
+    def test_dense_more_work(self, rt, workload):
+        csr, hx = workload
+        s_dense, _ = run_dense(rt, csr, hx)
+        s_csr, _ = run_csr(rt, csr, hx)
+        assert s_dense.issue_cycles > 5 * s_csr.issue_cycles
+
+
+def run_csc(rt, csr, hx):
+    """Launch the CSC kernel for y = A @ x (CSC of A)."""
+    from repro.kernels.spmv import spmv_csc
+
+    csc = csr.transpose()
+    n = csr.n_rows
+    vals = rt.to_device(csc.values)
+    rows = rt.to_device(csc.row_idx)
+    cptr = rt.to_device(csc.col_ptr)
+    x = rt.to_device(hx)
+    y = rt.to_device(np.zeros(n, dtype=np.float32))
+    stats = rt.launch(
+        spmv_csc, (n + 255) // 256, 256, vals, rows, cptr, x, y, n
+    )
+    rt.synchronize()
+    return stats, y.to_host()
+
+
+class TestCSCKernel:
+    def test_matches_reference(self, rt, workload):
+        csr, hx = workload
+        _, y = run_csc(rt, csr, hx)
+        assert np.allclose(y, csr.spmv(hx), rtol=1e-3, atol=1e-4)
+
+    def test_uses_atomics(self, rt, workload):
+        csr, hx = workload
+        stats, _ = run_csc(rt, csr, hx)
+        assert stats.atomics > 0
+
+    def test_csr_cheaper_than_csc_for_Ax(self, rt, workload):
+        # the "right combination" point of paper §IV-B: row format for A@x
+        from repro.timing.model import estimate_kernel_time
+
+        csr, hx = workload
+        s_csr, _ = run_csr(rt, csr, hx)
+        s_csc, _ = run_csc(rt, csr, hx)
+        t_csr = estimate_kernel_time(s_csr, rt.gpu).exec_s
+        t_csc = estimate_kernel_time(s_csc, rt.gpu).exec_s
+        assert t_csr < t_csc

@@ -1,0 +1,124 @@
+"""Device allocator: alignment, free-list behaviour, bounds checks."""
+
+import pytest
+
+from repro.common.errors import AllocationError, InvalidAddressError
+from repro.mem.allocator import DEFAULT_ALIGNMENT, DeviceAllocator
+
+
+class TestMalloc:
+    def test_default_alignment(self, allocator):
+        a = allocator.malloc(100)
+        assert a.addr % DEFAULT_ALIGNMENT == 0
+
+    def test_custom_alignment(self, allocator):
+        a = allocator.malloc(100, align=1024)
+        assert a.addr % 1024 == 0
+
+    def test_deliberate_offset(self, allocator):
+        a = allocator.malloc(100, offset=4)
+        assert a.addr % DEFAULT_ALIGNMENT == 4
+
+    def test_backing_buffer_zeroed(self, allocator):
+        a = allocator.malloc(64)
+        assert a.data.shape == (64,)
+        assert not a.data.any()
+
+    def test_distinct_regions(self, allocator):
+        a = allocator.malloc(100)
+        b = allocator.malloc(100)
+        assert a.end <= b.addr or b.end <= a.addr
+
+    def test_zero_size_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.malloc(0)
+
+    def test_negative_size_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.malloc(-4)
+
+    def test_bad_alignment_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.malloc(16, align=3)
+
+    def test_offset_out_of_range_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.malloc(16, align=256, offset=256)
+
+    def test_oom(self):
+        alloc = DeviceAllocator(1024)
+        with pytest.raises(AllocationError):
+            alloc.malloc(2048)
+
+    def test_exhaustion_then_free_recovers(self):
+        alloc = DeviceAllocator(4096)
+        a = alloc.malloc(3000, align=1)
+        with pytest.raises(AllocationError):
+            alloc.malloc(3000, align=1)
+        alloc.free(a)
+        alloc.malloc(3000, align=1)  # fits again
+
+    def test_managed_flag(self, allocator):
+        assert allocator.malloc(16, managed=True).managed
+        assert not allocator.malloc(16).managed
+
+
+class TestFree:
+    def test_double_free_raises(self, allocator):
+        a = allocator.malloc(64)
+        allocator.free(a)
+        with pytest.raises(InvalidAddressError):
+            allocator.free(a)
+
+    def test_accounting(self, allocator):
+        assert allocator.bytes_in_use == 0
+        a = allocator.malloc(100)
+        b = allocator.malloc(50)
+        assert allocator.bytes_in_use == 150
+        assert allocator.live_allocations == 2
+        allocator.free(a)
+        assert allocator.bytes_in_use == 50
+        assert allocator.peak_bytes_in_use == 150
+
+    def test_hole_coalescing(self):
+        alloc = DeviceAllocator(1 << 20)
+        blocks = [alloc.malloc(1000, align=1) for _ in range(8)]
+        for b in blocks:
+            alloc.free(b)
+        # after freeing everything the arena is one hole again
+        big = alloc.malloc((1 << 20) - 16, align=1)
+        assert big.nbytes == (1 << 20) - 16
+
+
+class TestFind:
+    def test_find_hit(self, allocator):
+        a = allocator.malloc(64)
+        assert allocator.find(a.addr) is a
+        assert allocator.find(a.addr + 63) is a
+
+    def test_find_miss(self, allocator):
+        a = allocator.malloc(64)
+        with pytest.raises(InvalidAddressError):
+            allocator.find(a.end)
+
+    def test_find_freed(self, allocator):
+        a = allocator.malloc(64)
+        allocator.free(a)
+        with pytest.raises(InvalidAddressError):
+            allocator.find(a.addr)
+
+    def test_check_range_overrun(self, allocator):
+        a = allocator.malloc(64)
+        assert allocator.check_range(a.addr, 64) is a
+        with pytest.raises(InvalidAddressError):
+            allocator.check_range(a.addr + 32, 64)
+
+    def test_address_zero_never_valid(self, allocator):
+        with pytest.raises(InvalidAddressError):
+            allocator.find(0)
+
+
+class TestCapacityValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(AllocationError):
+            DeviceAllocator(0)

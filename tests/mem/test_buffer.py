@@ -1,0 +1,139 @@
+"""DeviceArray views: addressing, reshaping, host transfer."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import InvalidAddressError
+from repro.mem.buffer import DeviceArray
+
+
+class TestGeometry:
+    def test_basic(self, allocator):
+        a = allocator.malloc(64 * 4)
+        arr = DeviceArray(a, np.float32, 64)
+        assert arr.size == 64
+        assert arr.nbytes == 256
+        assert arr.itemsize == 4
+        assert arr.base_addr == a.addr
+
+    def test_2d_shape(self, allocator):
+        a = allocator.malloc(8 * 4 * 4)
+        arr = DeviceArray(a, np.float32, (8, 4))
+        assert arr.size == 32
+        assert arr.ndim == 2
+
+    def test_byte_offset(self, allocator):
+        a = allocator.malloc(256)
+        arr = DeviceArray(a, np.float32, 32, byte_offset=128)
+        assert arr.base_addr == a.addr + 128
+
+    def test_overrun_rejected(self, allocator):
+        a = allocator.malloc(64)
+        with pytest.raises(InvalidAddressError):
+            DeviceArray(a, np.float32, 32)  # needs 128B
+
+    def test_offset_overrun_rejected(self, allocator):
+        a = allocator.malloc(128)
+        with pytest.raises(InvalidAddressError):
+            DeviceArray(a, np.float32, 32, byte_offset=4)
+
+    def test_negative_dim_rejected(self, allocator):
+        a = allocator.malloc(64)
+        with pytest.raises(InvalidAddressError):
+            DeviceArray(a, np.float32, (-1,))
+
+
+class TestData:
+    def test_fill_and_read_back(self, allocator):
+        a = allocator.malloc(16 * 8)
+        arr = DeviceArray(a, np.float64, 16)
+        data = np.arange(16, dtype=np.float64)
+        arr.fill_from(data)
+        assert np.array_equal(arr.to_host(), data)
+
+    def test_view_is_writable(self, allocator):
+        a = allocator.malloc(4 * 4)
+        arr = DeviceArray(a, np.float32, 4)
+        arr.view[:] = 7.0
+        assert np.all(arr.to_host() == 7.0)
+
+    def test_to_host_is_copy(self, allocator):
+        a = allocator.malloc(4 * 4)
+        arr = DeviceArray(a, np.float32, 4)
+        h = arr.to_host()
+        h[:] = 99
+        assert not np.any(arr.to_host() == 99)
+
+    def test_fill_shape_mismatch(self, allocator):
+        a = allocator.malloc(16)
+        arr = DeviceArray(a, np.float32, 4)
+        with pytest.raises(InvalidAddressError):
+            arr.fill_from(np.zeros(5, dtype=np.float32))
+
+    def test_two_views_share_bytes(self, allocator):
+        a = allocator.malloc(64)
+        v1 = DeviceArray(a, np.float32, 16)
+        v2 = DeviceArray(a, np.float32, 16)
+        v1.view[0] = 5.0
+        assert v2.to_host()[0] == 5.0
+
+
+class TestAddressing:
+    def test_addr_of_scalar(self, allocator):
+        a = allocator.malloc(64)
+        arr = DeviceArray(a, np.float32, 16)
+        assert arr.addr_of(3) == arr.base_addr + 12
+
+    def test_addr_of_vector(self, allocator):
+        a = allocator.malloc(64)
+        arr = DeviceArray(a, np.float32, 16)
+        addrs = arr.addr_of(np.array([0, 1, 15]))
+        assert list(addrs) == [arr.base_addr, arr.base_addr + 4, arr.base_addr + 60]
+
+    def test_addr_of_out_of_range(self, allocator):
+        a = allocator.malloc(64)
+        arr = DeviceArray(a, np.float32, 16)
+        with pytest.raises(InvalidAddressError):
+            arr.addr_of(16)
+        with pytest.raises(InvalidAddressError):
+            arr.addr_of(np.array([0, -1]))
+
+
+class TestReshape:
+    def test_reshape_roundtrip(self, allocator):
+        a = allocator.malloc(64)
+        arr = DeviceArray(a, np.float32, 16)
+        m = arr.reshape(4, 4)
+        assert m.shape == (4, 4)
+        assert m.base_addr == arr.base_addr
+
+    def test_reshape_size_mismatch(self, allocator):
+        a = allocator.malloc(64)
+        arr = DeviceArray(a, np.float32, 16)
+        with pytest.raises(InvalidAddressError):
+            arr.reshape(5, 5)
+
+
+class TestSlice:
+    def test_view_shares_bytes(self, allocator):
+        a = allocator.malloc(64)
+        arr = DeviceArray(a, np.float32, 16)
+        sub = arr.slice(4, 8)
+        sub.view[:] = 9.0
+        host = arr.to_host()
+        assert np.all(host[4:12] == 9.0)
+        assert host[3] == 0.0 and host[12] == 0.0
+
+    def test_addressing_offset(self, allocator):
+        a = allocator.malloc(64)
+        arr = DeviceArray(a, np.float32, 16)
+        sub = arr.slice(4, 8)
+        assert sub.base_addr == arr.base_addr + 16
+
+    def test_bounds(self, allocator):
+        a = allocator.malloc(64)
+        arr = DeviceArray(a, np.float32, 16)
+        with pytest.raises(InvalidAddressError):
+            arr.slice(10, 8)
+        with pytest.raises(InvalidAddressError):
+            arr.slice(-1, 4)

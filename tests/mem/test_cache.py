@@ -1,0 +1,143 @@
+"""LRU cache model: replacement, sets, dirty write-back accounting."""
+
+import numpy as np
+import pytest
+
+from repro.mem.cache import LRUCache, simulate_stream
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = LRUCache(8)
+        assert not c.access(1)
+        assert c.access(1)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_hit_rate(self):
+        c = LRUCache(8)
+        c.access(1)
+        c.access(1)
+        c.access(1)
+        assert c.hit_rate == pytest.approx(2 / 3)
+
+    def test_zero_capacity_always_misses(self):
+        c = LRUCache(0)
+        assert not c.access(1)
+        assert not c.access(1)
+        assert c.hits == 0
+
+    def test_len(self):
+        c = LRUCache(8)
+        for i in range(5):
+            c.access(i)
+        assert len(c) == 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+        with pytest.raises(ValueError):
+            LRUCache(8, ways=0)
+
+    def test_reset_counters(self):
+        c = LRUCache(4)
+        c.access(1, write=True)
+        c.reset_counters()
+        assert c.accesses == 0 and c.lines_dirtied == 0
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recent(self):
+        c = LRUCache(2, ways=2)  # fully associative, 2 lines
+        c.access(1)
+        c.access(2)
+        c.access(1)      # 1 is now most recent
+        c.access(3)      # evicts 2
+        assert c.contains(1) and c.contains(3) and not c.contains(2)
+
+    def test_working_set_fits(self):
+        c = LRUCache(16, ways=16)
+        stream = list(range(16)) * 4
+        hits, misses = simulate_stream(stream, 16, ways=16)
+        assert misses == 16
+        assert hits == 48
+
+    def test_working_set_thrashes(self):
+        # cyclic sweep one larger than capacity: classic LRU worst case
+        hits, _ = simulate_stream(list(range(17)) * 4, 16, ways=16)
+        assert hits == 0
+
+    def test_eviction_counter(self):
+        c = LRUCache(2, ways=2)
+        for i in range(5):
+            c.access(i)
+        assert c.evictions == 3
+
+
+class TestSetMapping:
+    def test_set_count(self):
+        c = LRUCache(8, ways=2)
+        assert c.n_sets == 4
+
+    def test_small_capacity_fully_associative(self):
+        c = LRUCache(4, ways=8)
+        assert c.ways == 4
+        assert c.n_sets == 1
+
+    def test_hashed_sets_tolerate_pow2_strides(self):
+        # power-of-two strided lines must not collapse onto one set
+        # (the set index is hashed, like real L2 slices)
+        c = LRUCache(64, ways=4)
+        lines = [i * 64 for i in range(32)]
+        c.access_many(lines)
+        hits = c.access_many(lines)
+        assert hits >= 24  # most of the 32-line working set survives
+
+    def test_capacity_still_bounds_contents(self):
+        c = LRUCache(8, ways=2)
+        c.access_many(range(100))
+        assert len(c) <= 8
+
+
+class TestDirtyTracking:
+    def test_write_miss_dirties(self):
+        c = LRUCache(8)
+        c.access(1, write=True)
+        assert c.lines_dirtied == 1
+
+    def test_rewrite_not_recounted(self):
+        c = LRUCache(8)
+        c.access(1, write=True)
+        c.access(1, write=True)
+        assert c.lines_dirtied == 1
+
+    def test_read_then_write_transitions(self):
+        c = LRUCache(8)
+        c.access(1)
+        assert c.lines_dirtied == 0
+        c.access(1, write=True)
+        assert c.lines_dirtied == 1
+
+    def test_evicted_then_rewritten_counts_again(self):
+        c = LRUCache(1, ways=1)
+        c.access(1, write=True)
+        c.access(2)          # evicts 1
+        c.access(1, write=True)
+        assert c.lines_dirtied == 2
+
+    def test_zero_capacity_write_counts(self):
+        c = LRUCache(0)
+        c.access(1, write=True)
+        c.access(1, write=True)
+        assert c.lines_dirtied == 2
+
+
+class TestAccessMany:
+    def test_numpy_input(self):
+        c = LRUCache(8)
+        hits = c.access_many(np.array([1, 2, 1, 2]))
+        assert hits == 2
+
+    def test_write_mode(self):
+        c = LRUCache(8)
+        c.access_many([1, 2, 3], write=True)
+        assert c.lines_dirtied == 3

@@ -1,0 +1,75 @@
+"""Access traces and the cache window."""
+
+import numpy as np
+
+from repro.mem.coalesce import analyze_access
+from repro.mem.trace import CACHE_WINDOW_WARPS, AccessTrace
+
+
+def record_linear(trace, n, itemsize=4, base=0x100000, is_store=False):
+    addrs = base + np.arange(n, dtype=np.int64) * itemsize
+    summary = analyze_access(addrs, None, itemsize)
+    return trace.record(
+        space="global",
+        is_store=is_store,
+        itemsize=itemsize,
+        summary=summary,
+        addrs=addrs,
+        mask=None,
+    )
+
+
+class TestForGrid:
+    def test_small_grid_window_covers_all(self):
+        t = AccessTrace.for_grid(64)  # 2 warps
+        assert t.window_warps == 2
+        assert t.window_start_warp == 0
+        assert t.window_fraction == 1.0
+
+    def test_large_grid_window_mid(self):
+        t = AccessTrace.for_grid(32 * 10_000)
+        assert t.window_warps == CACHE_WINDOW_WARPS
+        assert 0 < t.window_start_warp < 10_000 - CACHE_WINDOW_WARPS
+        assert t.window_fraction == CACHE_WINDOW_WARPS / 10_000
+
+    def test_empty_grid(self):
+        t = AccessTrace.for_grid(0)
+        assert t.n_grid_warps == 0
+        assert t.window_fraction == 1.0
+
+    def test_partial_warp(self):
+        t = AccessTrace.for_grid(33)
+        assert t.n_grid_warps == 2
+
+
+class TestRecord:
+    def test_window_slice_shape(self):
+        t = AccessTrace.for_grid(32 * 200)
+        rec = record_linear(t, 32 * 200)
+        assert rec.window_addrs.shape == (CACHE_WINDOW_WARPS, 32)
+        assert rec.window_mask.all()
+
+    def test_window_contains_mid_grid_addresses(self):
+        t = AccessTrace.for_grid(32 * 200)
+        rec = record_linear(t, 32 * 200)
+        lane0 = t.window_start_warp * 32
+        assert rec.window_addrs[0, 0] == 0x100000 + lane0 * 4
+
+    def test_records_ordered(self):
+        t = AccessTrace.for_grid(64)
+        r1 = record_linear(t, 64)
+        r2 = record_linear(t, 64, is_store=True)
+        assert t.records == [r1, r2]
+        assert len(t) == 2
+
+    def test_mask_sliced(self):
+        t = AccessTrace.for_grid(64)
+        addrs = 0x100000 + np.arange(64, dtype=np.int64) * 4
+        mask = np.zeros(64, dtype=bool)
+        mask[:10] = True
+        summary = analyze_access(addrs, mask, 4)
+        rec = t.record(
+            space="global", is_store=False, itemsize=4,
+            summary=summary, addrs=addrs, mask=mask,
+        )
+        assert rec.window_mask.sum() == 10

@@ -1,0 +1,81 @@
+"""Property-based tests: allocator soundness under random op sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import AllocationError
+from repro.mem.allocator import DeviceAllocator
+
+CAPACITY = 1 << 16
+
+
+@st.composite
+def op_sequences(draw):
+    """A random interleaving of malloc/free operations."""
+    n = draw(st.integers(1, 40))
+    ops = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            ops.append(("malloc", draw(st.integers(1, 4096)),
+                        draw(st.sampled_from([1, 16, 256, 1024]))))
+        else:
+            ops.append(("free", draw(st.integers(0, 100)), 0))
+    return ops
+
+
+class TestAllocatorSoundness:
+    @given(ops=op_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_no_overlap_and_accounting(self, ops):
+        alloc = DeviceAllocator(CAPACITY)
+        live = []
+        expected_in_use = 0
+        for kind, a, b in ops:
+            if kind == "malloc":
+                try:
+                    al = alloc.malloc(a, align=b)
+                except AllocationError:
+                    continue
+                assert al.addr % b == 0
+                live.append(al)
+                expected_in_use += a
+            elif live:
+                al = live.pop(a % len(live))
+                alloc.free(al)
+                expected_in_use -= al.nbytes
+            # invariants after every operation
+            assert alloc.bytes_in_use == expected_in_use
+            spans = sorted((x.addr, x.end) for x in live)
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 <= s2, "allocations overlap"
+
+    @given(sizes=st.lists(st.integers(1, 1024), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_free_all_restores_capacity(self, sizes):
+        alloc = DeviceAllocator(CAPACITY)
+        live = []
+        for s in sizes:
+            try:
+                live.append(alloc.malloc(s, align=1))
+            except AllocationError:
+                break
+        for al in live:
+            alloc.free(al)
+        assert alloc.bytes_in_use == 0
+        # the arena coalesced back into one big hole
+        big = alloc.malloc(CAPACITY, align=1)
+        assert big.nbytes == CAPACITY
+
+    @given(sizes=st.lists(st.integers(1, 512), min_size=2, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_find_resolves_every_live_byte(self, sizes):
+        alloc = DeviceAllocator(CAPACITY)
+        live = []
+        for s in sizes:
+            try:
+                live.append(alloc.malloc(s))
+            except AllocationError:
+                break
+        for al in live:
+            assert alloc.find(al.addr) is al
+            assert alloc.find(al.end - 1) is al

@@ -1,0 +1,72 @@
+"""Property-based tests: LRU cache invariants."""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import LRUCache
+
+streams = st.lists(st.integers(0, 64), min_size=1, max_size=300)
+
+
+def oracle_fully_associative(stream, capacity):
+    """Reference fully-associative LRU."""
+    lru: OrderedDict[int, None] = OrderedDict()
+    hits = 0
+    for line in stream:
+        if line in lru:
+            hits += 1
+            lru.move_to_end(line)
+        else:
+            if len(lru) >= capacity:
+                lru.popitem(last=False)
+            lru[line] = None
+    return hits
+
+
+class TestOracle:
+    @given(stream=streams, capacity=st.integers(1, 32))
+    @settings(max_examples=80, deadline=None)
+    def test_fully_associative_matches(self, stream, capacity):
+        c = LRUCache(capacity, ways=capacity)
+        c.access_many(stream)
+        assert c.hits == oracle_fully_associative(stream, capacity)
+
+
+class TestInvariants:
+    @given(stream=streams, capacity=st.integers(0, 64), ways=st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_counts_consistent(self, stream, capacity, ways):
+        c = LRUCache(capacity, ways=ways)
+        c.access_many(stream)
+        assert c.hits + c.misses == len(stream)
+        assert len(c) <= capacity if capacity else len(c) == 0
+        assert c.evictions <= c.misses
+
+    @given(stream=streams, capacity=st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_bigger_cache_never_worse(self, stream, capacity):
+        """LRU inclusion property: more capacity, same ways ratio -> >= hits."""
+        small = LRUCache(capacity, ways=capacity)
+        big = LRUCache(capacity * 2, ways=capacity * 2)
+        small.access_many(stream)
+        big.access_many(stream)
+        assert big.hits >= small.hits
+
+    @given(stream=streams)
+    @settings(max_examples=60, deadline=None)
+    def test_dirtied_bounded_by_distinct_writes(self, stream):
+        c = LRUCache(16)
+        c.access_many(stream, write=True)
+        assert c.lines_dirtied >= len(set(stream))
+        assert c.lines_dirtied <= len(stream)
+
+    @given(stream=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_infinite_cache_misses_equal_distinct(self, stream):
+        c = LRUCache(1 << 20, ways=16)
+        c.access_many(stream)
+        # with a huge hashed cache, conflict misses are absent
+        assert c.misses == len(set(stream))

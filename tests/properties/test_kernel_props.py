@@ -1,0 +1,115 @@
+"""Property-based tests: kernel results match NumPy references."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.arch.presets import CARINA
+from repro.host.runtime import CudaLite
+from repro.kernels.axpy import axpy_1per_thread, axpy_cyclic
+from repro.kernels.reduction import reduce_sequential, reduce_shuffle
+from repro.sparse.csr import CSRMatrix
+
+floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, width=32
+)
+
+
+def f32_arrays(n):
+    return arrays(np.float32, n, elements=floats)
+
+
+class TestAxpyProperties:
+    @given(
+        hx=f32_arrays(256),
+        hy=f32_arrays(256),
+        a=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_numpy(self, hx, hy, a):
+        rt = CudaLite(CARINA)
+        x, y = rt.to_device(hx), rt.to_device(hy)
+        rt.launch(axpy_1per_thread, 1, 256, x, y, 256, np.float32(a))
+        rt.synchronize()
+        assert np.allclose(
+            y.to_host(), hy + np.float32(a) * hx, rtol=1e-5, atol=1e-4
+        )
+
+    @given(hx=f32_arrays(512), hy=f32_arrays(512))
+    @settings(max_examples=15, deadline=None)
+    def test_distributions_equivalent(self, hx, hy):
+        rt = CudaLite(CARINA)
+        x = rt.to_device(hx)
+        y1 = rt.to_device(hy)
+        rt.launch(axpy_1per_thread, 2, 256, x, y1, 512, 2.0)
+        y2 = rt.to_device(hy)
+        rt.launch(axpy_cyclic, 1, 128, x, y2, 512, 2.0)
+        rt.synchronize()
+        assert np.array_equal(y1.to_host(), y2.to_host())
+
+
+class TestReductionProperties:
+    @given(hx=f32_arrays(512))
+    @settings(max_examples=20, deadline=None)
+    def test_sum_preserved(self, hx):
+        rt = CudaLite(CARINA)
+        x = rt.to_device(hx)
+        r = rt.malloc(512 // 64)
+        rt.launch(reduce_sequential, 512 // 64, 64, x, r)
+        rt.synchronize()
+        assert np.allclose(
+            r.to_host(), hx.reshape(-1, 64).sum(axis=1), rtol=1e-3, atol=1e-2
+        )
+
+    @given(hx=f32_arrays(256))
+    @settings(max_examples=20, deadline=None)
+    def test_shuffle_equals_sequential(self, hx):
+        rt = CudaLite(CARINA)
+        x = rt.to_device(hx)
+        r1 = rt.malloc(256 // 128)
+        r2 = rt.malloc(256 // 128)
+        rt.launch(reduce_sequential, 2, 128, x, r1)
+        rt.launch(reduce_shuffle, 2, 128, x, r2)
+        rt.synchronize()
+        assert np.allclose(r1.to_host(), r2.to_host(), rtol=1e-4, atol=1e-3)
+
+
+class TestCSRProperties:
+    @given(
+        dense=arrays(
+            np.float32,
+            (12, 12),
+            elements=st.one_of(st.just(0.0), floats),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_from_dense_roundtrip(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        assert np.array_equal(csr.to_dense(), dense)
+        assert csr.nnz == int((dense != 0).sum())
+
+    @given(
+        dense=arrays(
+            np.float32,
+            (10, 10),
+            elements=st.one_of(st.just(0.0), floats),
+        ),
+        x=f32_arrays(10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_spmv_matches_dense(self, dense, x):
+        csr = CSRMatrix.from_dense(dense)
+        assert np.allclose(csr.spmv(x), dense @ x, rtol=1e-3, atol=1e-2)
+
+    @given(
+        dense=arrays(
+            np.float32,
+            (8, 8),
+            elements=st.one_of(st.just(0.0), floats),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_roundtrip(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        assert np.array_equal(csr.transpose().to_dense(), dense)

@@ -1,0 +1,108 @@
+"""Property-based tests: timing-model monotonicity invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.presets import TESLA_V100
+from repro.simt.executor import run_kernel
+from repro.simt.kernel import kernel
+from repro.timing.model import estimate_kernel_time
+from repro.timing.occupancy import compute_occupancy
+from tests.conftest import make_device_array
+from repro.mem.allocator import DeviceAllocator
+
+
+@kernel
+def saxpy(ctx, x, y, n, a):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(y, i, a * ctx.load(x, i) + ctx.load(y, i)))
+
+
+def timed(n, block=256, gpu=TESLA_V100, **kw):
+    alloc = DeviceAllocator(1 << 30)
+    x = make_device_array(alloc, np.zeros(n, dtype=np.float32))
+    y = make_device_array(alloc, np.zeros(n, dtype=np.float32))
+    stats = run_kernel(saxpy, -(-n // block), block, (x, y, n, 2.0), gpu=gpu)
+    return estimate_kernel_time(stats, gpu, **kw)
+
+
+class TestTimingMonotonicity:
+    @given(k=st.integers(12, 18))
+    @settings(max_examples=7, deadline=None)
+    def test_bigger_problem_never_faster(self, k):
+        t1 = timed(1 << k).exec_s
+        t2 = timed(1 << (k + 1)).exec_s
+        assert t2 > t1
+
+    @given(sms=st.integers(1, 80))
+    @settings(max_examples=15, deadline=None)
+    def test_fewer_sms_never_faster(self, sms):
+        full = timed(1 << 16)
+        limited = timed(1 << 16, sm_limit=sms)
+        assert limited.exec_s >= full.exec_s * 0.999
+
+    @given(beta=st.floats(0.0, 1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_beta_monotone(self, beta):
+        base = timed(1 << 14, beta=0.0)
+        more = timed(1 << 14, beta=beta)
+        assert more.exec_s >= base.exec_s * 0.999
+
+    @given(block=st.sampled_from([32, 64, 128, 256, 512, 1024]))
+    @settings(max_examples=6, deadline=None)
+    def test_block_size_insensitive_for_streaming(self, block):
+        """Coalesced streaming time shouldn't swing wildly with block size."""
+        ref = timed(1 << 16, block=256).exec_s
+        t = timed(1 << 16, block=block).exec_s
+        assert 0.4 < t / ref < 2.5
+
+    @given(k=st.integers(12, 20))
+    @settings(max_examples=9, deadline=None)
+    def test_bandwidth_never_exceeds_peak(self, k):
+        n = 1 << k
+        t = timed(n)
+        bw = 3 * n * 4 / t.exec_s
+        assert bw <= TESLA_V100.dram_bandwidth * 1.001
+
+
+class TestOccupancyProperties:
+    @given(
+        threads=st.integers(1, 1024),
+        regs=st.integers(16, 128),
+        smem=st.integers(0, 48 * 1024),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_within_bounds(self, threads, regs, smem):
+        from repro.common.errors import LaunchConfigError
+
+        try:
+            occ = compute_occupancy(
+                TESLA_V100,
+                threads,
+                registers_per_thread=regs,
+                shared_mem_per_block=smem,
+            )
+        except LaunchConfigError:
+            return
+        assert 1 <= occ.blocks_per_sm <= TESLA_V100.max_blocks_per_sm
+        assert occ.warps_per_sm <= TESLA_V100.warps_per_sm
+        assert 0 < occ.occupancy <= 1.0
+        # resources actually fit
+        assert occ.blocks_per_sm * max(smem, 1) <= TESLA_V100.shared_mem_per_sm + 256 * occ.blocks_per_sm
+        assert occ.waves >= 1
+
+    @given(threads=st.integers(1, 1024))
+    @settings(max_examples=30, deadline=None)
+    def test_more_registers_never_increases_occupancy(self, threads):
+        from repro.common.errors import LaunchConfigError
+
+        lo = compute_occupancy(TESLA_V100, threads, registers_per_thread=32)
+        try:
+            hi_blocks = compute_occupancy(
+                TESLA_V100, threads, registers_per_thread=128
+            ).blocks_per_sm
+        except LaunchConfigError:
+            hi_blocks = 0  # cannot even be resident
+        assert hi_blocks <= lo.blocks_per_sm

@@ -1,0 +1,60 @@
+"""Dim3 coercion and arithmetic."""
+
+import pytest
+
+from repro.common.errors import LaunchConfigError
+from repro.simt.dim3 import Dim3
+
+
+class TestConstruction:
+    def test_defaults(self):
+        d = Dim3(4)
+        assert (d.x, d.y, d.z) == (4, 1, 1)
+
+    def test_full(self):
+        d = Dim3(2, 3, 4)
+        assert d.size == 24
+
+    def test_zero_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            Dim3(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            Dim3(1, -1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            Dim3(1.5)  # type: ignore[arg-type]
+
+
+class TestOf:
+    def test_int(self):
+        assert Dim3.of(7) == Dim3(7)
+
+    def test_tuple(self):
+        assert Dim3.of((2, 3)) == Dim3(2, 3)
+        assert Dim3.of((2, 3, 4)) == Dim3(2, 3, 4)
+
+    def test_identity(self):
+        d = Dim3(5)
+        assert Dim3.of(d) is d
+
+    def test_bad_tuple(self):
+        with pytest.raises(LaunchConfigError):
+            Dim3.of((1, 2, 3, 4))
+
+    def test_bad_type(self):
+        with pytest.raises(LaunchConfigError):
+            Dim3.of("16")  # type: ignore[arg-type]
+
+
+class TestMisc:
+    def test_as_tuple(self):
+        assert Dim3(1, 2, 3).as_tuple() == (1, 2, 3)
+
+    def test_str(self):
+        assert str(Dim3(16, 16)) == "(16, 16, 1)"
+
+    def test_hashable(self):
+        assert len({Dim3(1), Dim3(1), Dim3(2)}) == 2

@@ -1,0 +1,94 @@
+"""Device-side child launches (dynamic parallelism)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import TESLA_V100
+from repro.common.errors import KernelRuntimeError, LaunchConfigError
+from repro.simt.executor import run_kernel
+from repro.simt.kernel import kernel
+from repro.timing.model import estimate_kernel_time
+from tests.conftest import make_device_array
+
+
+@kernel
+def child_fill(ctx, out, n, value):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(out, i, value))
+
+
+@kernel
+def parent_launches(ctx, out, n):
+    """Every kernel instance launches one child that fills ``out``."""
+    ctx.launch_child(child_fill, -(-n // 32), 32, out, n, 7.0)
+
+
+@kernel
+def parent_reads_child_result(ctx, out, n):
+    # the child runs after the parent: parent-side reads see old data,
+    # matching the fork-join approximation documented on launch_child
+    ctx.launch_child(child_fill, -(-n // 32), 32, out, n, 1.0)
+
+
+@kernel
+def recursive(ctx, out, depth):
+    def go():
+        ctx.launch_child(recursive, 1, 32, out, depth - 1)
+
+    if depth > 0:
+        go()
+    else:
+        ctx.store(out, ctx.global_thread_id(), 42.0)
+
+
+class TestFunctional:
+    def test_child_executes(self, allocator):
+        out = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        run_kernel(parent_launches, 1, 32, (out, 64), gpu=TESLA_V100)
+        assert np.all(out.to_host() == 7.0)
+
+    def test_stats_merged(self, allocator):
+        out = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        stats = run_kernel(parent_launches, 1, 32, (out, 64), gpu=TESLA_V100)
+        assert stats.device_launches == 1
+        assert stats.transactions > 0  # the child's store is in there
+
+    def test_recursion(self, allocator):
+        out = make_device_array(allocator, np.zeros(32, dtype=np.float32))
+        stats = run_kernel(recursive, 1, 32, (out, 3), gpu=TESLA_V100)
+        assert np.all(out.to_host() == 42.0)
+        assert stats.device_launches == 3
+
+    def test_depth_guard(self, allocator):
+        out = make_device_array(allocator, np.zeros(32, dtype=np.float32))
+        with pytest.raises(LaunchConfigError):
+            run_kernel(recursive, 1, 32, (out, 100), gpu=TESLA_V100)
+
+    def test_unsupported_arch_raises(self, allocator):
+        no_dp = TESLA_V100.evolve(supports_dynamic_parallelism=False)
+        out = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        with pytest.raises(KernelRuntimeError):
+            run_kernel(parent_launches, 1, 32, (out, 64), gpu=no_dp)
+
+
+class TestTiming:
+    def test_device_launch_overhead_charged(self, allocator):
+        out = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        s_parent = run_kernel(parent_launches, 1, 32, (out, 64), gpu=TESLA_V100)
+        s_plain = run_kernel(child_fill, 2, 32, (out, 64, 7.0), gpu=TESLA_V100)
+        t_parent = estimate_kernel_time(s_parent, TESLA_V100)
+        t_plain = estimate_kernel_time(s_plain, TESLA_V100)
+        assert t_parent.overhead_s > t_plain.overhead_s
+
+    def test_managed_pages_propagate(self, rt):
+        # children touching managed memory must trigger migrations
+        x = rt.malloc_managed(1 << 12)
+
+        @kernel
+        def parent(ctx, x, n):
+            ctx.launch_child(child_fill, -(-n // 32), 32, x, n, 3.0)
+
+        rt.launch(parent, 1, 32, x, 1 << 12)
+        rt.synchronize()
+        assert [e for e in rt.timeline.events if e.kind == "migrate"]
+        assert np.all(x.to_host() == 3.0)

@@ -1,0 +1,125 @@
+"""Kernel launch validation and execution."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import TESLA_V100
+from repro.common.errors import KernelRuntimeError, LaunchConfigError
+from repro.simt.dim3 import Dim3
+from repro.simt.executor import run_kernel, validate_launch
+from repro.simt.kernel import KernelDef, kernel
+from tests.conftest import make_device_array
+
+
+@kernel
+def write_tid(ctx, out, n):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(out, i, i.astype(np.float32)))
+
+
+class TestValidateLaunch:
+    def test_ok(self):
+        validate_launch(TESLA_V100, Dim3(10), Dim3(256))
+
+    def test_block_too_big(self):
+        with pytest.raises(LaunchConfigError):
+            validate_launch(TESLA_V100, Dim3(1), Dim3(2048))
+
+    def test_block_dim_z_limit(self):
+        with pytest.raises(LaunchConfigError):
+            validate_launch(TESLA_V100, Dim3(1), Dim3(1, 1, 128))
+
+    def test_grid_dim_limit(self):
+        with pytest.raises(LaunchConfigError):
+            validate_launch(TESLA_V100, Dim3(1, 70000), Dim3(32))
+
+    def test_shared_over_limit(self):
+        with pytest.raises(LaunchConfigError):
+            validate_launch(
+                TESLA_V100, Dim3(1), Dim3(32), shared_mem_bytes=49 * 1024
+            )
+
+
+class TestRunKernel:
+    def test_functional(self, allocator):
+        out = make_device_array(allocator, np.zeros(100, dtype=np.float32))
+        stats = run_kernel(write_tid, 4, 32, (out, 100), gpu=TESLA_V100)
+        assert np.array_equal(out.to_host(), np.arange(100, dtype=np.float32))
+        assert stats.threads == 128
+        assert stats.warps == 4
+
+    def test_coerces_launch_config(self, allocator):
+        out = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        stats = run_kernel(write_tid, (2,), (32,), (out, 64), gpu=TESLA_V100)
+        assert stats.grid == Dim3(2)
+
+    def test_guard_rail(self, allocator):
+        out = make_device_array(allocator, np.zeros(4, dtype=np.float32))
+        with pytest.raises(LaunchConfigError):
+            run_kernel(
+                write_tid, 1 << 20, 1024, (out, 4),
+                gpu=TESLA_V100, max_sim_threads=1 << 10,
+            )
+
+    def test_name_override(self, allocator):
+        out = make_device_array(allocator, np.zeros(32, dtype=np.float32))
+        stats = run_kernel(write_tid, 1, 32, (out, 32), gpu=TESLA_V100, name="custom")
+        assert stats.name == "custom"
+
+    def test_shared_mem_flows_to_stats(self, allocator):
+        @kernel
+        def uses_shared(ctx):
+            ctx.shared_array(128, np.float32)
+
+        stats = run_kernel(uses_shared, 1, 32, (), gpu=TESLA_V100)
+        assert stats.shared_mem_per_block == 512
+
+    def test_registers_flow_to_stats(self, allocator):
+        @kernel(registers=48)
+        def k(ctx):
+            pass
+
+        stats = run_kernel(k, 1, 32, (), gpu=TESLA_V100)
+        assert stats.registers_per_thread == 48
+
+    def test_unbalanced_mask_detected(self):
+        @kernel
+        def bad(ctx):
+            ctx.push_mask(ctx.mask.copy())
+
+        with pytest.raises(KernelRuntimeError):
+            run_kernel(bad, 1, 32, (), gpu=TESLA_V100)
+
+
+class TestKernelDecorator:
+    def test_bare(self):
+        @kernel
+        def f(ctx):
+            pass
+
+        assert isinstance(f, KernelDef)
+        assert f.name == "f"
+        assert f.registers == 32
+
+    def test_with_options(self):
+        @kernel(name="other", registers=64, note="x")
+        def f(ctx):
+            pass
+
+        assert f.name == "other"
+        assert f.registers == 64
+        assert f.meta == {"note": "x"}
+
+    def test_bad_registers(self):
+        with pytest.raises(ValueError):
+            KernelDef(func=lambda ctx: None, name="x", registers=0)
+
+    def test_callable(self):
+        calls = []
+
+        @kernel
+        def f(ctx, a):
+            calls.append(a)
+
+        f(None, 42)
+        assert calls == [42]

@@ -1,0 +1,180 @@
+"""Global/constant/texture memory operations of the thread context."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import TESLA_V100
+from repro.common.errors import InvalidAddressError, KernelRuntimeError
+from repro.simt.context import ThreadContext
+from repro.simt.dim3 import Dim3
+from repro.simt.texture import TextureView
+from tests.conftest import make_device_array
+
+
+@pytest.fixture
+def ctx():
+    return ThreadContext(TESLA_V100, Dim3(1), Dim3(64), name="t")
+
+
+class TestLoad:
+    def test_gather(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(64, dtype=np.float32))
+        out = ctx.load(arr, ctx.global_thread_id())
+        assert np.array_equal(out.data, np.arange(64, dtype=np.float32))
+
+    def test_masked_lanes_read_zero(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(64, dtype=np.float32) + 1)
+        tid = ctx.global_thread_id()
+        out = {}
+        ctx.if_active(tid < 10, lambda: out.setdefault("v", ctx.load(arr, tid)))
+        assert np.all(out["v"].data[10:] == 0)
+        assert np.all(out["v"].data[:10] == np.arange(10) + 1)
+
+    def test_out_of_bounds_raises(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(8, dtype=np.float32))
+        with pytest.raises(InvalidAddressError):
+            ctx.load(arr, ctx.global_thread_id())
+
+    def test_masked_out_of_bounds_ok(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(8, dtype=np.float32))
+        tid = ctx.global_thread_id()
+        ctx.if_active(tid < 8, lambda: ctx.load(arr, tid))  # no raise
+
+    def test_records_trace(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        ctx.load(arr, ctx.global_thread_id())
+        assert len(ctx.stats.trace) == 1
+        assert ctx.stats.trace.records[0].space == "global"
+        assert not ctx.stats.trace.records[0].is_store
+
+    def test_charges_transactions(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        before = ctx.stats.issue_cycles
+        ctx.load(arr, ctx.global_thread_id())
+        assert ctx.stats.issue_cycles == before + 2  # 2 warps, coalesced
+        assert ctx.stats.transactions == 2
+
+    def test_uncoalesced_charges_more(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64 * 32, dtype=np.float32))
+        idx = ctx.as_lanevec(np.arange(64, dtype=np.int64) * 32)
+        before = ctx.stats.issue_cycles
+        ctx.load(arr, idx)
+        assert ctx.stats.issue_cycles - before == 64
+
+    def test_bad_index_shape(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        with pytest.raises(KernelRuntimeError):
+            ctx.load(arr, np.arange(3))
+
+    def test_scalar_index_broadcast(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(4, dtype=np.float32))
+        out = ctx.load(arr, 2)
+        assert np.all(out.data == 2.0)
+
+
+class TestStore:
+    def test_scatter(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        ctx.store(arr, ctx.global_thread_id(), ctx.const(5.0))
+        assert np.all(arr.to_host() == 5.0)
+
+    def test_masked_scatter(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        tid = ctx.global_thread_id()
+        ctx.if_active(tid < 4, lambda: ctx.store(arr, tid, ctx.const(1.0)))
+        assert arr.to_host().sum() == 4.0
+
+    def test_store_scalar_value(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        ctx.store(arr, ctx.global_thread_id(), 3.5)
+        assert np.all(arr.to_host() == 3.5)
+
+    def test_dtype_cast_on_store(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64, dtype=np.int32))
+        ctx.store(arr, ctx.global_thread_id(), ctx.const(7.9))
+        assert np.all(arr.to_host() == 7)
+
+    def test_store_records_as_store(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        ctx.store(arr, ctx.global_thread_id(), 1.0)
+        assert ctx.stats.trace.records[0].is_store
+
+
+class TestAtomicAdd:
+    def test_single_address_accumulates(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(1, dtype=np.float32))
+        ctx.atomic_add(arr, 0, ctx.const(1.0))
+        assert arr.to_host()[0] == 64.0
+
+    def test_returns_pre_values(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(1, dtype=np.float32))
+        pre = ctx.atomic_add(arr, 0, ctx.const(1.0))
+        assert sorted(pre.data.tolist()) == list(range(64))
+
+    def test_distinct_addresses(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(64, dtype=np.float32))
+        ctx.atomic_add(arr, ctx.global_thread_id(), ctx.const(2.0))
+        assert np.all(arr.to_host() == 2.0)
+
+    def test_counted(self, ctx, allocator):
+        arr = make_device_array(allocator, np.zeros(1, dtype=np.float32))
+        ctx.atomic_add(arr, 0, ctx.const(1.0))
+        assert ctx.stats.atomics == 64
+
+
+class TestConstant:
+    def test_uniform_read_one_pass(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(8, dtype=np.float32))
+        before = ctx.stats.issue_cycles
+        out = ctx.load_constant(arr, 0)
+        assert np.all(out.data == 0.0)
+        assert ctx.stats.issue_cycles - before == 2  # one pass per warp
+        assert ctx.stats.constant_replays == 0
+
+    def test_scattered_read_serializes(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(64, dtype=np.float32))
+        before = ctx.stats.issue_cycles
+        ctx.load_constant(arr, ctx.global_thread_id())
+        assert ctx.stats.issue_cycles - before == 64  # 32 passes per warp
+        assert ctx.stats.constant_replays == 62
+
+    def test_not_in_global_trace(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(8, dtype=np.float32))
+        ctx.load_constant(arr, 0)
+        assert ctx.stats.transactions == 0
+
+    def test_bounds_checked(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(8, dtype=np.float32))
+        with pytest.raises(InvalidAddressError):
+            ctx.load_constant(arr, ctx.global_thread_id())
+
+
+class TestReadOnlyPath:
+    def test_ldg_records_texture_space(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(64, dtype=np.float32))
+        out = ctx.load_readonly(arr, ctx.global_thread_id())
+        assert np.array_equal(out.data, np.arange(64, dtype=np.float32))
+        assert ctx.stats.trace.records[0].space == "texture"
+
+
+class TestTextureFetch:
+    def test_tex1d(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(64, dtype=np.float32))
+        view = TextureView(arr, width=64)
+        out = ctx.tex1d(view, ctx.global_thread_id())
+        assert np.array_equal(out.data, np.arange(64, dtype=np.float32))
+
+    def test_tex1d_clamps(self, ctx, allocator):
+        arr = make_device_array(allocator, np.arange(8, dtype=np.float32))
+        view = TextureView(arr, width=8)
+        out = ctx.tex1d(view, ctx.global_thread_id())
+        assert np.all(out.data[8:] == 7.0)
+
+    def test_tex2d_block_linear(self, ctx, allocator):
+        host = np.arange(64, dtype=np.float32).reshape(8, 8)
+        storage = make_device_array(allocator, TextureView.swizzle_2d(host, tile=4))
+        view = TextureView(storage, width=8, height=8, tile=4)
+        x = ctx.as_lanevec(np.arange(64, dtype=np.int64) % 8)
+        y = ctx.as_lanevec(np.arange(64, dtype=np.int64) // 8)
+        out = ctx.tex2d(view, x, y)
+        assert np.array_equal(out.data, host.reshape(-1))

@@ -1,0 +1,68 @@
+"""KernelStats derived metrics and child merging."""
+
+import pytest
+
+from repro.mem.trace import AccessTrace
+from repro.simt.dim3 import Dim3
+from repro.simt.stats import KernelStats
+
+
+def make_stats(**overrides):
+    base = dict(
+        name="k",
+        grid=Dim3(4),
+        block=Dim3(64),
+        threads=256,
+        warps=8,
+        trace=AccessTrace.for_grid(256),
+    )
+    base.update(overrides)
+    return KernelStats(**base)
+
+
+class TestMetrics:
+    def test_warp_execution_efficiency(self):
+        s = make_stats(warp_instructions=10, thread_instructions=10 * 32)
+        assert s.warp_execution_efficiency == 1.0
+        s2 = make_stats(warp_instructions=10, thread_instructions=160)
+        assert s2.warp_execution_efficiency == 0.5
+
+    def test_efficiency_empty(self):
+        assert make_stats().warp_execution_efficiency == 1.0
+
+    def test_branch_efficiency(self):
+        s = make_stats(branches=10, divergent_branches=3)
+        assert s.branch_efficiency == pytest.approx(0.7)
+        assert make_stats().branch_efficiency == 1.0
+
+    def test_gld_efficiency(self):
+        s = make_stats(sectors_requested=10, bytes_requested=320)
+        assert s.gld_efficiency == 1.0
+        s2 = make_stats(sectors_requested=10, bytes_requested=32)
+        assert s2.gld_efficiency == pytest.approx(0.1)
+
+    def test_shared_efficiency(self):
+        s = make_stats(shared_requests=10, shared_passes=20)
+        assert s.shared_efficiency == 0.5
+        assert make_stats().shared_efficiency == 1.0
+
+    def test_blocks(self):
+        assert make_stats().blocks == 4
+
+
+class TestMergeChild:
+    def test_counters_fold(self):
+        parent = make_stats(issue_cycles=10.0, branches=1)
+        child = make_stats(issue_cycles=5.0, branches=2, barriers=3)
+        child.trace.records = []
+        parent.merge_child(child)
+        assert parent.issue_cycles == 15.0
+        assert parent.branches == 3
+        assert parent.barriers == 3
+        assert parent.device_launches == 1
+
+    def test_nested_launch_count(self):
+        parent = make_stats()
+        child = make_stats(device_launches=4)
+        parent.merge_child(child)
+        assert parent.device_launches == 5

@@ -1,0 +1,92 @@
+"""Texture views: block-linear layout and clamping."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import InvalidAddressError
+from repro.mem.buffer import DeviceArray
+from repro.simt.texture import TextureView
+from tests.conftest import make_device_array
+
+
+class TestSwizzle:
+    def test_roundtrip_exact_tiles(self):
+        host = np.arange(64, dtype=np.float32).reshape(8, 8)
+        flat = TextureView.swizzle_2d(host, tile=4)
+        assert flat.shape == (64,)
+        # spot check: tile (0,0) holds rows 0-3 cols 0-3 in row-major
+        assert np.array_equal(flat[:4], host[0, :4])
+        assert np.array_equal(flat[4:8], host[1, :4])
+
+    def test_roundtrip_via_flat_index(self, allocator):
+        host = np.arange(15 * 9, dtype=np.float32).reshape(9, 15)  # ragged
+        flat = TextureView.swizzle_2d(host, tile=4)
+        storage = make_device_array(allocator, flat)
+        view = TextureView(storage, width=15, height=9, tile=4)
+        yy, xx = np.mgrid[0:9, 0:15]
+        idx = view.flat_index_2d(xx.ravel(), yy.ravel())
+        assert np.array_equal(flat[idx], host.ravel())
+
+    def test_padding_replicates_edge(self):
+        host = np.arange(6, dtype=np.float32).reshape(2, 3)
+        flat = TextureView.swizzle_2d(host, tile=4)
+        assert flat.shape == (16,)
+        # padded column equals last real column
+        tiles = flat.reshape(4, 4)
+        assert tiles[0, 3] == host[0, 2]
+
+
+class TestFlatIndex:
+    def test_1d_clamp(self, allocator):
+        storage = make_device_array(allocator, np.arange(8, dtype=np.float32))
+        view = TextureView(storage, width=8)
+        idx = view.flat_index_1d(np.array([-5, 0, 7, 100]))
+        assert list(idx) == [0, 0, 7, 7]
+
+    def test_2d_clamp(self, allocator):
+        host = np.arange(64, dtype=np.float32).reshape(8, 8)
+        storage = make_device_array(allocator, TextureView.swizzle_2d(host, tile=4))
+        view = TextureView(storage, width=8, height=8, tile=4)
+        inside = view.flat_index_2d(np.array([7]), np.array([7]))
+        outside = view.flat_index_2d(np.array([100]), np.array([100]))
+        assert inside == outside
+
+    def test_2d_locality(self, allocator):
+        # a 2D-neighbourhood touches few distinct tiles
+        host = np.zeros((64, 64), dtype=np.float32)
+        storage = make_device_array(allocator, TextureView.swizzle_2d(host, tile=8))
+        view = TextureView(storage, width=64, height=64, tile=8)
+        yy, xx = np.mgrid[8:16, 8:16]
+        idx = view.flat_index_2d(xx.ravel(), yy.ravel())
+        # one aligned 8x8 patch = exactly one 64-element tile
+        assert idx.max() - idx.min() == 63
+
+    def test_2d_on_1d_raises(self, allocator):
+        storage = make_device_array(allocator, np.arange(8, dtype=np.float32))
+        view = TextureView(storage, width=8)
+        with pytest.raises(InvalidAddressError):
+            view.flat_index_2d(np.array([0]), np.array([0]))
+
+
+class TestValidation:
+    def test_storage_too_small_1d(self, allocator):
+        storage = make_device_array(allocator, np.arange(8, dtype=np.float32))
+        with pytest.raises(InvalidAddressError):
+            TextureView(storage, width=16)
+
+    def test_storage_too_small_2d(self, allocator):
+        storage = make_device_array(allocator, np.zeros(32, dtype=np.float32))
+        with pytest.raises(InvalidAddressError):
+            TextureView(storage, width=8, height=8, tile=4)
+
+    def test_bad_dims(self, allocator):
+        storage = make_device_array(allocator, np.zeros(8, dtype=np.float32))
+        with pytest.raises(InvalidAddressError):
+            TextureView(storage, width=0)
+
+    def test_properties(self, allocator):
+        storage = make_device_array(allocator, np.zeros(96, dtype=np.float32))
+        view = TextureView(storage, width=10, height=7, tile=4)
+        assert view.is_2d
+        assert view.tiles_x == 3 and view.tiles_y == 2
+        assert view.padded_width == 12 and view.padded_height == 8

@@ -1,0 +1,92 @@
+"""Warp vote intrinsics: any/all/ballot/popc."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import TESLA_V100
+from repro.simt.context import ThreadContext
+from repro.simt.dim3 import Dim3
+
+
+@pytest.fixture
+def ctx():
+    return ThreadContext(TESLA_V100, Dim3(1), Dim3(64), name="t")
+
+
+class TestVoteAny:
+    def test_true_when_one_lane_true(self, ctx):
+        tid = ctx.global_thread_id()
+        out = ctx.vote_any(tid == 5)
+        assert out.data[:32].all()      # warp 0 contains lane 5
+        assert not out.data[32:].any()  # warp 1 does not
+
+    def test_false_when_none(self, ctx):
+        tid = ctx.global_thread_id()
+        out = ctx.vote_any(tid < 0)
+        assert not out.data.any()
+
+    def test_masked_lanes_dont_vote(self, ctx):
+        tid = ctx.global_thread_id()
+        result = {}
+
+        def body():
+            result["v"] = ctx.vote_any(tid >= 10)
+
+        # only lanes 0..9 active; their predicate is false everywhere
+        ctx.if_active(tid < 10, body)
+        assert not result["v"].data[:32].any()
+
+
+class TestVoteAll:
+    def test_all_true(self, ctx):
+        tid = ctx.global_thread_id()
+        out = ctx.vote_all(tid >= 0)
+        assert out.data.all()
+
+    def test_one_false_breaks_warp(self, ctx):
+        tid = ctx.global_thread_id()
+        out = ctx.vote_all(tid != 40)
+        assert out.data[:32].all()
+        assert not out.data[32:].any()
+
+    def test_inactive_lanes_ignored(self, ctx):
+        tid = ctx.global_thread_id()
+        result = {}
+
+        def body():
+            result["v"] = ctx.vote_all(tid < 10)
+
+        ctx.if_active(tid < 10, body)
+        assert result["v"].data[:32].all()
+
+
+class TestBallot:
+    def test_mask_bits(self, ctx):
+        tid = ctx.global_thread_id()
+        out = ctx.ballot((tid % 2) == 0)
+        even_mask = sum(1 << i for i in range(0, 32, 2))
+        assert np.all(out.data == even_mask)
+
+    def test_empty_ballot(self, ctx):
+        tid = ctx.global_thread_id()
+        out = ctx.ballot(tid < 0)
+        assert np.all(out.data == 0)
+
+    def test_ballot_counts_with_popc(self, ctx):
+        tid = ctx.global_thread_id()
+        ones = ctx.popc(ctx.ballot(tid < 48))
+        assert np.all(ones.data[:32] == 32)
+        assert np.all(ones.data[32:] == 16)
+
+
+class TestPopc:
+    @pytest.mark.parametrize("value,expect", [(0, 0), (1, 1), (0xFF, 8), (2**31, 1)])
+    def test_known_values(self, ctx, value, expect):
+        out = ctx.popc(ctx.const(value, np.int64))
+        assert np.all(out.data == expect)
+
+    def test_matches_python(self, ctx, rng):
+        vals = rng.integers(0, 2**62, size=64)
+        out = ctx.popc(ctx.as_lanevec(vals))
+        expect = np.array([bin(v).count("1") for v in vals])
+        assert np.array_equal(out.data, expect)

@@ -1,0 +1,130 @@
+"""CSR/CSC formats: construction, conversion, reference SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix, random_sparse
+
+
+@pytest.fixture
+def small():
+    dense = np.array(
+        [
+            [1.0, 0.0, 2.0],
+            [0.0, 0.0, 0.0],
+            [3.0, 4.0, 0.0],
+        ],
+        dtype=np.float32,
+    )
+    return dense, CSRMatrix.from_dense(dense)
+
+
+class TestConstruction:
+    def test_from_dense(self, small):
+        dense, csr = small
+        assert csr.nnz == 4
+        assert list(csr.row_ptr) == [0, 2, 2, 4]
+        assert list(csr.col_idx) == [0, 2, 0, 1]
+        assert list(csr.values) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_roundtrip(self, small):
+        dense, csr = small
+        assert np.array_equal(csr.to_dense(), dense)
+
+    def test_density(self, small):
+        _, csr = small
+        assert csr.density == pytest.approx(4 / 9)
+
+    def test_nbytes(self, small):
+        _, csr = small
+        assert csr.nbytes == 4 * 4 + 4 * 4 + 4 * 4
+
+    def test_from_dense_needs_2d(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_dense(np.zeros(4))
+
+    def test_validation_row_ptr_length(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(2, 2, np.zeros(1), np.zeros(1, np.int32), np.zeros(2, np.int32))
+
+    def test_validation_row_ptr_monotone(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                2, 2,
+                np.ones(2, np.float32),
+                np.zeros(2, np.int32),
+                np.array([0, 2, 2 - 1], np.int32),
+            )
+
+    def test_validation_col_range(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                1, 2,
+                np.ones(1, np.float32),
+                np.array([5], np.int32),
+                np.array([0, 1], np.int32),
+            )
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.from_dense(np.zeros((4, 4)))
+        assert csr.nnz == 0
+        assert np.array_equal(csr.to_dense(), np.zeros((4, 4), np.float32))
+
+
+class TestSpmv:
+    def test_reference(self, small):
+        dense, csr = small
+        x = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        assert np.allclose(csr.spmv(x), dense @ x)
+
+    def test_wrong_length(self, small):
+        _, csr = small
+        with pytest.raises(ValueError):
+            csr.spmv(np.zeros(5, dtype=np.float32))
+
+    def test_random_against_dense(self, rng):
+        csr = random_sparse(64, 512, seed=1)
+        x = rng.random(64, dtype=np.float32)
+        assert np.allclose(csr.spmv(x), csr.to_dense() @ x, rtol=1e-4)
+
+
+class TestTranspose:
+    def test_csc_is_transpose(self, small):
+        dense, csr = small
+        csc = csr.transpose()
+        assert np.array_equal(csc.to_dense(), dense)
+        assert csc.nnz == csr.nnz
+        assert csc.nbytes > 0
+
+
+class TestRandomSparse:
+    def test_exact_nnz(self):
+        csr = random_sparse(32, 100, seed=0)
+        assert csr.nnz == 100
+
+    def test_reproducible(self):
+        a = random_sparse(32, 100, seed=0)
+        b = random_sparse(32, 100, seed=0)
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_seed_changes(self):
+        a = random_sparse(32, 100, seed=0)
+        b = random_sparse(32, 100, seed=1)
+        assert not np.array_equal(a.col_idx, b.col_idx)
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            random_sparse(4, 17)
+
+    def test_values_in_range(self):
+        csr = random_sparse(32, 200, seed=2)
+        assert csr.values.min() >= 0.5
+        assert csr.values.max() < 1.5
+
+    def test_valid_structure(self):
+        csr = random_sparse(50, 500, seed=3)
+        assert csr.row_ptr[-1] == 500
+        # no duplicate coordinates
+        dense = csr.to_dense()
+        assert (dense != 0).sum() == 500

@@ -1,0 +1,60 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import _parse_params, build_parser, main
+
+
+class TestParseParams:
+    def test_int(self):
+        assert _parse_params(["n=1024"]) == {"n": 1024}
+
+    def test_hex_and_float(self):
+        assert _parse_params(["n=0x10", "a=2.5"]) == {"n": 16, "a": 2.5}
+
+    def test_string_fallback(self):
+        assert _parse_params(["mode=fast"]) == {"mode": "fast"}
+
+    def test_missing_equals(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["oops"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "CoMem" in out and "MiniTransfer" in out
+
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla V100" in out and "Tesla K80" in out
+
+    def test_run_small(self, capsys):
+        rc = main(["run", "MemAlign", "-p", "n=65536"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MemAlign" in out
+        assert "metrics:" in out
+
+    def test_run_with_system(self, capsys):
+        rc = main(["run", "MemAlign", "--system", "carina", "-p", "n=65536"])
+        assert rc == 0
+
+    def test_run_unknown_benchmark(self, capsys):
+        assert main(["run", "NoSuchBench"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_unknown_system(self, capsys):
+        assert main(["run", "MemAlign", "--system", "laptop"]) == 2
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "BankRedux", "--values", "65536,131072"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "65536" in out and "131072" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "AXPY" in out
+        assert "effective bandwidth" in out
+
+    def test_coalescing_study(self):
+        out = run_example("coalescing_study.py")
+        assert "cyclic" in out
+        assert "block" in out
+
+    def test_mandelbrot_adaptive(self):
+        out = run_example("mandelbrot_adaptive.py", "128")
+        assert "Mariani-Silver" in out
+        assert "speedup" in out
+
+    def test_spmv_formats(self):
+        out = run_example("spmv_formats.py")
+        assert "CSR" in out
+        assert "density" in out
+
+    def test_overlap_pipeline(self):
+        out = run_example("overlap_pipeline.py")
+        assert "synchronous offload" in out
+        assert "graph replay" in out
+
+    def test_gpu_comparison(self):
+        out = run_example("gpu_comparison.py")
+        assert "Tesla K80" in out
+        assert "texture win" in out
+
+    def test_performance_doctor(self):
+        out = run_example("performance_doctor.py")
+        assert "uncoalesced-access" in out
+        assert "no inefficiency patterns detected" in out
+
+    def test_all_examples_covered(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py", "coalescing_study.py", "mandelbrot_adaptive.py",
+            "spmv_formats.py", "overlap_pipeline.py", "gpu_comparison.py",
+            "performance_doctor.py",
+        }
+        assert scripts == tested

@@ -1,0 +1,165 @@
+"""End-to-end integration scenarios across subsystem boundaries.
+
+Each test exercises a realistic multi-component workflow: memory +
+kernels + streams + timing together, the way a library user would.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CARINA,
+    FORNAX,
+    CudaLite,
+    estimate_kernel_time,
+    kernel,
+)
+from repro.kernels import (
+    matmul_grid_for,
+    matmul_tiled,
+    reduce_shuffle,
+)
+
+
+@kernel
+def scale(ctx, x, n, a):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(x, i, a * ctx.load(x, i)))
+
+
+class TestMultiKernelPipeline:
+    def test_matmul_then_reduce(self, rng):
+        """C = A @ B, then per-block sums of C — two kernels chained."""
+        rt = CudaLite(CARINA)
+        n = 64
+        ha = rng.random((n, n), dtype=np.float32)
+        hb = rng.random((n, n), dtype=np.float32)
+        a = rt.to_device(ha.ravel())
+        b = rt.to_device(hb.ravel())
+        c = rt.malloc(n * n)
+        grid, block = matmul_grid_for(n)
+        rt.launch(matmul_tiled, grid, block, a, b, c, n)
+        r = rt.malloc(n * n // 256)
+        rt.launch(reduce_shuffle, n * n // 256, 256, c, r)
+        total = rt.synchronize()
+        ref = (ha @ hb).ravel().reshape(-1, 256).sum(axis=1)
+        assert np.allclose(r.to_host(), ref, rtol=1e-3)
+        assert total > 0
+
+    def test_iterative_updates_in_one_buffer(self, rng):
+        rt = CudaLite(CARINA)
+        n = 4096
+        hx = rng.random(n, dtype=np.float32)
+        x = rt.to_device(hx)
+        for _ in range(5):
+            rt.launch(scale, n // 256, 256, x, n, 2.0)
+        rt.synchronize()
+        assert np.allclose(x.to_host(), hx * 32.0, rtol=1e-5)
+
+
+class TestStreamPipelines:
+    def test_producer_consumer_across_streams(self, rng):
+        rt = CudaLite(CARINA)
+        n = 1 << 14
+        hx = rng.random(n, dtype=np.float32)
+        x = rt.malloc(n)
+        s_copy = rt.stream("copy")
+        s_compute = rt.stream("compute")
+        done_copy = rt.event("copied")
+        rt.memcpy_h2d(x, hx, stream=s_copy, pinned=True)
+        rt.record_event(done_copy, stream=s_copy)
+        rt.wait_event(done_copy, stream=s_compute)
+        rt.launch(scale, n // 256, 256, x, n, 3.0, stream=s_compute)
+        rt.synchronize()
+        assert np.allclose(x.to_host(), 3.0 * hx, rtol=1e-6)
+        # the kernel must not have started before the copy finished
+        copy_ev = [e for e in rt.timeline.events if e.kind == "h2d"][0]
+        kern_ev = [e for e in rt.timeline.events if e.kind == "kernel"][0]
+        assert kern_ev.start >= copy_ev.end
+
+    def test_timeline_busy_accounting(self, rng):
+        rt = CudaLite(CARINA)
+        n = 1 << 16
+        x = rt.to_device(rng.random(n, dtype=np.float32))
+        with rt.timer() as t:
+            rt.launch(scale, n // 256, 256, x, n, 1.5)
+        assert rt.timeline.busy_time() == pytest.approx(t.elapsed, rel=1e-6)
+
+
+class TestCrossArchitecture:
+    def test_same_program_two_systems(self, rng):
+        """One workload, two simulated machines — results equal, times differ."""
+        n = 1 << 16
+        hx = rng.random(n, dtype=np.float32)
+        outs = {}
+        times = {}
+        for system in (CARINA, FORNAX):
+            rt = CudaLite(system)
+            x = rt.to_device(hx)
+            with rt.timer() as t:
+                rt.launch(scale, n // 256, 256, x, n, 2.0)
+            outs[system.name] = x.to_host()
+            times[system.name] = t.elapsed
+        a, b = outs.values()
+        assert np.array_equal(a, b)
+        ta, tb = times.values()
+        assert ta != tb  # a V100 is not a K80
+
+    def test_occupancy_feeds_timing(self, rng):
+        """A shared-memory-hungry kernel loses occupancy and slows down."""
+
+        @kernel
+        def hungry(ctx, x, n):
+            ctx.shared_array(16 * 1024 // 4, np.float32)  # 16 KiB/block
+            i = ctx.global_thread_id()
+
+            def body():
+                v = ctx.load(x, i)
+                for _ in range(64):
+                    v = ctx.fma(v, 1.0001, 0.1)
+                ctx.store(x, i, v)
+
+            ctx.if_active(i < n, body)
+
+        @kernel
+        def lean(ctx, x, n):
+            i = ctx.global_thread_id()
+
+            def body():
+                v = ctx.load(x, i)
+                for _ in range(64):
+                    v = ctx.fma(v, 1.0001, 0.1)
+                ctx.store(x, i, v)
+
+            ctx.if_active(i < n, body)
+
+        rt = CudaLite(CARINA)
+        n = 1 << 16
+        x = rt.to_device(rng.random(n, dtype=np.float32))
+        s_hungry = rt.launch(hungry, n // 256, 256, x, n)
+        s_lean = rt.launch(lean, n // 256, 256, x, n)
+        rt.synchronize()
+        t_hungry = estimate_kernel_time(s_hungry, rt.gpu)
+        t_lean = estimate_kernel_time(s_lean, rt.gpu)
+        assert t_hungry.occupancy.occupancy < t_lean.occupancy.occupancy
+        assert t_hungry.occupancy.limiter == "shared"
+
+
+class TestMemoryLifecycles:
+    def test_alloc_free_reuse_cycle(self, rng):
+        rt = CudaLite(CARINA)
+        for _ in range(20):
+            x = rt.malloc(1 << 16)
+            x.fill_from(rng.random(1 << 16, dtype=np.float32))
+            rt.free(x)
+        assert rt.allocator.live_allocations == 0
+
+    def test_oom_is_clean(self):
+        from repro.common.errors import AllocationError
+
+        rt = CudaLite(CARINA)
+        with pytest.raises(AllocationError):
+            rt.malloc(rt.gpu.dram_size * 2)
+        # runtime still usable afterwards
+        x = rt.malloc(1024)
+        assert x.size == 1024

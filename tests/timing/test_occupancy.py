@@ -1,0 +1,82 @@
+"""Occupancy calculator against known CUDA occupancy results."""
+
+import pytest
+
+from repro.arch.presets import TESLA_K80, TESLA_V100
+from repro.common.errors import LaunchConfigError
+from repro.timing.occupancy import compute_occupancy
+
+
+class TestLimits:
+    def test_warp_limited_full(self):
+        # 256-thread blocks, low resources: 8 blocks/SM on V100 (64 warps)
+        occ = compute_occupancy(TESLA_V100, 256)
+        assert occ.blocks_per_sm == 8
+        assert occ.warps_per_sm == 64
+        assert occ.occupancy == 1.0
+
+    def test_block_count_limited(self):
+        # 32-thread blocks: warp limit would allow 64, but block cap is 32
+        occ = compute_occupancy(TESLA_V100, 32)
+        assert occ.blocks_per_sm == 32
+        assert occ.limiter == "blocks"
+        assert occ.occupancy == 0.5
+
+    def test_shared_limited(self):
+        occ = compute_occupancy(
+            TESLA_V100, 256, shared_mem_per_block=32 * 1024
+        )
+        assert occ.limiter == "shared"
+        assert occ.blocks_per_sm == 3
+
+    def test_register_limited(self):
+        occ = compute_occupancy(TESLA_V100, 256, registers_per_thread=128)
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == 2
+
+    def test_k80_block_cap(self):
+        occ = compute_occupancy(TESLA_K80, 64)
+        assert occ.blocks_per_sm == 16  # Kepler's lower block cap
+
+    def test_odd_block_rounds_to_warps(self):
+        occ = compute_occupancy(TESLA_V100, 48)  # 2 warps per block
+        assert occ.warps_per_block == 2
+
+
+class TestValidation:
+    def test_zero_threads(self):
+        with pytest.raises(LaunchConfigError):
+            compute_occupancy(TESLA_V100, 0)
+
+    def test_too_many_threads(self):
+        with pytest.raises(LaunchConfigError):
+            compute_occupancy(TESLA_V100, 2048)
+
+    def test_too_much_shared(self):
+        with pytest.raises(LaunchConfigError):
+            compute_occupancy(TESLA_V100, 32, shared_mem_per_block=64 * 1024)
+
+    def test_too_many_registers(self):
+        with pytest.raises(LaunchConfigError):
+            compute_occupancy(TESLA_V100, 32, registers_per_thread=256)
+
+    def test_kernel_cannot_fit(self):
+        # 1024 threads x 64 regs = 65536 regs = exactly one block; 96 fails
+        with pytest.raises(LaunchConfigError):
+            compute_occupancy(TESLA_V100, 1024, registers_per_thread=96)
+
+
+class TestDerived:
+    def test_waves(self):
+        occ = compute_occupancy(TESLA_V100, 256, n_blocks=80 * 8 * 3 + 1)
+        assert occ.waves == 4
+
+    def test_single_wave(self):
+        occ = compute_occupancy(TESLA_V100, 256, n_blocks=10)
+        assert occ.waves == 1
+
+    def test_active_sms(self):
+        occ = compute_occupancy(TESLA_V100, 256, n_blocks=10)
+        assert occ.active_sms == 10
+        occ = compute_occupancy(TESLA_V100, 256, n_blocks=1000)
+        assert occ.active_sms == 80

@@ -7,6 +7,13 @@ Usage examples::
     python -m repro run CoMem --system carina -p n=4194304
     python -m repro sweep CoMem --values 262144,1048576,4194304
     python -m repro specs
+    python -m repro doctor CoMem
+    python -m repro sanitize MemAlign --tool all
+    python -m repro sanitize oob-write --tool memcheck
+    python -m repro sanitize MemAlign --fault-seed 3 --h2d-fail-prob 0.5
+
+Exit codes: ``doctor`` and ``sanitize`` exit 1 when any critical
+finding is reported, 2 on a runtime error, 0 otherwise.
 """
 
 from __future__ import annotations
@@ -114,6 +121,92 @@ def cmd_specs(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Run a benchmark and print the performance doctor's findings.
+
+    Exits 1 if any finding is critical — usable as a CI gate.
+    """
+    from repro.host.doctor import diagnose
+    from repro.sanitize.session import sanitize_session
+
+    system = get_system(args.system) if args.system else None
+    bench = get_benchmark(args.benchmark, system)
+    with sanitize_session() as session:
+        bench.run(**_parse_params(args.param))
+    findings = []
+    seen: set[str] = set()
+    for rt in session.runtimes:
+        for stats, _ in rt.kernel_log:
+            if stats.name in seen:
+                continue
+            seen.add(stats.name)
+            findings.extend(diagnose(stats, rt.gpu))
+    if not findings:
+        print(f"{args.benchmark}: no findings")
+        return 0
+    print(f"{args.benchmark}: {len(findings)} finding(s)")
+    for f in findings:
+        print(f"  {f}")
+    return 1 if any(f.severity == "critical" for f in findings) else 0
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run a benchmark or demo under the compute-sanitizer analog.
+
+    ``target`` is a Table I benchmark name or a demo from
+    :mod:`repro.sanitize.demos`.  Exits 1 on any critical finding,
+    2 if the run itself died on a runtime error.
+    """
+    from repro.faults import FaultPlan
+    from repro.host.runtime import CudaLite
+    from repro.sanitize import Sanitizer, sanitize_session
+    from repro.sanitize.demos import DEMOS, run_demo
+
+    plan = None
+    if (
+        args.fault_seed is not None
+        or args.h2d_fail_prob
+        or args.d2h_fail_prob
+        or args.corrupt_prob
+        or args.abort_at is not None
+        or args.alloc_fail_after is not None
+        or args.stall_every is not None
+    ):
+        plan = FaultPlan(
+            args.fault_seed or 0,
+            alloc_fail_after_bytes=args.alloc_fail_after,
+            h2d_fail_prob=args.h2d_fail_prob,
+            d2h_fail_prob=args.d2h_fail_prob,
+            corrupt_prob=args.corrupt_prob,
+            kernel_abort_at=args.abort_at,
+            max_transfer_failures=args.max_transfer_failures,
+            stall_every=args.stall_every,
+        )
+    san = Sanitizer(args.tool)
+    status = 0
+    with sanitize_session(
+        sanitizer=san, faults=plan, watchdog_cycles=args.watchdog
+    ) as session:
+        try:
+            if args.target in DEMOS:
+                rt = CudaLite()
+                run_demo(args.target, rt, **_parse_params(args.param))
+            else:
+                system = get_system(args.system) if args.system else None
+                bench = get_benchmark(args.target, system)
+                bench.run(**_parse_params(args.param))
+        except ReproError as exc:
+            print(f"run aborted: {exc}", file=sys.stderr)
+            status = 2
+    print(san.report().render())
+    fault_logs = [rt.fault_log for rt in session.runtimes if rt.fault_log.events]
+    for log in fault_logs:
+        print(log.render())
+    if status == 0 and not san.report().ok:
+        status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro",
@@ -147,6 +240,59 @@ def build_parser() -> argparse.ArgumentParser:
         "-p", "--param", action="append", default=[], help="key=value run parameter"
     )
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    doc_p = sub.add_parser(
+        "doctor", help="diagnose a benchmark's kernels for performance bugs"
+    )
+    doc_p.add_argument("benchmark", help="Table I name, e.g. CoMem")
+    doc_p.add_argument("--system", help="carina | fornax | rtx3080")
+    doc_p.add_argument(
+        "-p", "--param", action="append", default=[], help="key=value run parameter"
+    )
+    doc_p.set_defaults(fn=cmd_doctor)
+
+    san_p = sub.add_parser(
+        "sanitize",
+        help="run under the compute-sanitizer analog, with optional fault injection",
+    )
+    san_p.add_argument(
+        "target", help="benchmark (e.g. MemAlign) or demo (e.g. oob-write)"
+    )
+    san_p.add_argument(
+        "--tool",
+        default="all",
+        choices=("all", "memcheck", "racecheck", "synccheck", "leakcheck"),
+        help="sanitizer tool to enable (default: all)",
+    )
+    san_p.add_argument("--system", help="carina | fornax | rtx3080")
+    san_p.add_argument(
+        "--fault-seed", type=int, default=None, help="seed for the fault plan"
+    )
+    san_p.add_argument("--h2d-fail-prob", type=float, default=0.0)
+    san_p.add_argument("--d2h-fail-prob", type=float, default=0.0)
+    san_p.add_argument("--corrupt-prob", type=float, default=0.0)
+    san_p.add_argument(
+        "--abort-at", type=int, default=None, help="0-based launch ordinal to abort"
+    )
+    san_p.add_argument(
+        "--alloc-fail-after", type=int, default=None, help="allocation byte budget"
+    )
+    san_p.add_argument(
+        "--max-transfer-failures",
+        type=int,
+        default=None,
+        help="cap on injected transfer failures (1 = fail once, then recover)",
+    )
+    san_p.add_argument(
+        "--stall-every", type=int, default=None, help="stall every N-th stream op"
+    )
+    san_p.add_argument(
+        "--watchdog", type=float, default=None, help="issue-cycle budget per kernel"
+    )
+    san_p.add_argument(
+        "-p", "--param", action="append", default=[], help="key=value run parameter"
+    )
+    san_p.set_defaults(fn=cmd_sanitize)
     return p
 
 

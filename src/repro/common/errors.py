@@ -5,6 +5,13 @@ callers can catch simulator problems without masking genuine Python bugs.
 The sub-classes mirror the CUDA error families a real runtime reports:
 configuration problems at launch time, invalid memory operations, and
 misuse of the stream/graph APIs.
+
+Each class maps to the ``cudaError_t`` code a real runtime would return
+(:func:`cuda_error_name`), and the code is appended to the rendered
+message so log lines read like driver output::
+
+    >>> str(LaunchConfigError("block of 2048 threads"))
+    'block of 2048 threads [cudaErrorInvalidConfiguration]'
 """
 
 from __future__ import annotations
@@ -18,12 +25,19 @@ __all__ = [
     "StreamError",
     "GraphError",
     "KernelRuntimeError",
+    "WatchdogTimeout",
+    "SanitizerError",
     "SpecError",
+    "cuda_error_name",
 ]
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return f"{base} [{cuda_error_name(self)}]" if base else cuda_error_name(self)
 
 
 class SpecError(ReproError):
@@ -63,3 +77,54 @@ class GraphError(ReproError):
 
 class KernelRuntimeError(ReproError):
     """A kernel body raised or misused the device context."""
+
+
+class WatchdogTimeout(KernelRuntimeError):
+    """A kernel exceeded the runtime's step budget and was killed.
+
+    The analog of the WDDM/display watchdog killing a long-running
+    kernel (``cudaErrorLaunchTimeout``).  Like a real launch timeout it
+    is a *sticky* error: the context stays poisoned until
+    :meth:`~repro.host.runtime.CudaLite.reset`.
+    """
+
+
+class SanitizerError(ReproError):
+    """A sanitizer tool found errors and the caller asked to fail hard.
+
+    Raised by :meth:`repro.sanitize.SanitizerReport.raise_if_errors`
+    and by the ``sanitize`` CLI when a run must gate on correctness.
+    """
+
+
+#: cudaError_t analog for each error family, most-derived classes first
+#: (lookup walks the MRO, so subclasses inherit their family's code
+#: unless they have an entry of their own).
+_CUDA_ERROR_NAMES: dict[type, str] = {
+    WatchdogTimeout: "cudaErrorLaunchTimeout",
+    SanitizerError: "cudaErrorAssert",
+    LaunchConfigError: "cudaErrorInvalidConfiguration",
+    AllocationError: "cudaErrorMemoryAllocation",
+    InvalidAddressError: "cudaErrorIllegalAddress",
+    MemoryError_: "cudaErrorInvalidValue",
+    StreamError: "cudaErrorInvalidResourceHandle",
+    GraphError: "cudaErrorStreamCaptureInvalidated",
+    KernelRuntimeError: "cudaErrorLaunchFailure",
+    SpecError: "cudaErrorInvalidDevice",
+    ReproError: "cudaErrorUnknown",
+}
+
+
+def cuda_error_name(error: ReproError | type[ReproError]) -> str:
+    """The ``cudaError_t`` enumerator a real runtime would report.
+
+    Accepts an exception instance or class; unknown subclasses resolve
+    through their nearest mapped ancestor (ultimately
+    ``cudaErrorUnknown``).
+    """
+    cls = error if isinstance(error, type) else type(error)
+    for base in cls.__mro__:
+        name = _CUDA_ERROR_NAMES.get(base)
+        if name is not None:
+            return name
+    return "cudaErrorUnknown"

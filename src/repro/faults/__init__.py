@@ -1,0 +1,5 @@
+"""Deterministic fault injection: plans, logs, retry policies."""
+
+from repro.faults.plan import FaultLog, FaultPlan, RetryPolicy
+
+__all__ = ["FaultLog", "FaultPlan", "RetryPolicy"]

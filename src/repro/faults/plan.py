@@ -1,0 +1,196 @@
+"""Deterministic fault injection for the host runtime.
+
+A :class:`FaultPlan` decides — reproducibly, from a seed — which
+operations of a run fail and how: allocations once a byte budget is
+exhausted, H2D/D2H transfers (transient failure or silent bit
+corruption), a kernel launch that aborts, periodic stream stalls, and
+the watchdog budget for runaway kernels.  Every decision is drawn from
+a counter-keyed Philox stream, so the *N*-th decision of a domain is a
+pure function of ``(seed, domain, N)``: two runs with the same seed and
+the same operation sequence inject exactly the same faults, which is
+what makes fault-handling behaviour assertable in tests and CI.
+
+The plan only *decides*; :class:`~repro.host.runtime.CudaLite` applies
+the outcomes (retrying transient transfer faults with backoff, going
+sticky on kernel aborts) and records what happened in a
+:class:`FaultLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+__all__ = ["FaultPlan", "FaultLog", "RetryPolicy"]
+
+#: Domain tags keying the per-decision RNG streams.
+_DOMAINS = {"h2d": 1, "d2h": 2, "corrupt": 3, "stall": 5}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient transfer faults."""
+
+    max_attempts: int = 4          #: total tries, including the first
+    backoff_s: float = 100e-6      #: simulated delay before retry 1
+    multiplier: float = 2.0        #: backoff growth per retry
+
+    def backoff(self, retry: int) -> float:
+        """Simulated backoff delay before the given retry (0-based)."""
+        return self.backoff_s * self.multiplier**retry
+
+
+@dataclass
+class FaultLog:
+    """What the runtime actually injected and how it recovered."""
+
+    events: list[tuple[str, str]] = field(default_factory=list)
+
+    def record(self, kind: str, detail: str = "") -> None:
+        self.events.append((kind, detail))
+
+    def count(self, kind: str) -> int:
+        return sum(1 for k, _ in self.events if k == kind)
+
+    def render(self) -> str:
+        if not self.events:
+            return "fault log: no faults injected"
+        lines = ["fault log:"]
+        lines += [f"  {k}: {d}" if d else f"  {k}" for k, d in self.events]
+        return "\n".join(lines)
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Root of every random decision; same seed + same operation
+        sequence = same faults.
+    alloc_fail_after_bytes:
+        Allocations succeed until the cumulative requested bytes exceed
+        this; afterwards every allocation fails (OOM analog).
+    h2d_fail_prob, d2h_fail_prob:
+        Per-transfer probability of a *transient* failure (the runtime
+        retries these with backoff).
+    corrupt_prob:
+        Per-transfer probability that the copy succeeds but one bit of
+        the payload flips (silent data corruption).
+    kernel_abort_at:
+        0-based launch ordinal that aborts mid-flight, poisoning the
+        context (sticky error).
+    max_transfer_failures:
+        Cap on injected transfer failures across the run; once reached,
+        would-be failures succeed instead.  ``h2d_fail_prob=1.0,
+        max_transfer_failures=1`` deterministically fails the first
+        attempt and recovers on the retry.
+    stall_every, stall_seconds:
+        Every N-th submitted stream operation is preceded by a stall of
+        the given simulated duration (jammed-DMA/preemption analog).
+    watchdog_cycles:
+        Issue-cycle budget per kernel; exceeded → WatchdogTimeout.
+        (Also settable directly on the runtime.)
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        alloc_fail_after_bytes: int | None = None,
+        h2d_fail_prob: float = 0.0,
+        d2h_fail_prob: float = 0.0,
+        corrupt_prob: float = 0.0,
+        kernel_abort_at: int | None = None,
+        max_transfer_failures: int | None = None,
+        stall_every: int | None = None,
+        stall_seconds: float = 1e-3,
+        watchdog_cycles: float | None = None,
+    ) -> None:
+        for name, p in (
+            ("h2d_fail_prob", h2d_fail_prob),
+            ("d2h_fail_prob", d2h_fail_prob),
+            ("corrupt_prob", corrupt_prob),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {p}")
+        if max(h2d_fail_prob, d2h_fail_prob) + corrupt_prob > 1.0:
+            raise ReproError("fail probability + corrupt_prob must not exceed 1")
+        if stall_every is not None and stall_every <= 0:
+            raise ReproError(f"stall_every must be positive, got {stall_every}")
+        self.seed = int(seed)
+        self.alloc_fail_after_bytes = alloc_fail_after_bytes
+        self.h2d_fail_prob = h2d_fail_prob
+        self.d2h_fail_prob = d2h_fail_prob
+        self.corrupt_prob = corrupt_prob
+        self.kernel_abort_at = kernel_abort_at
+        self.max_transfer_failures = max_transfer_failures
+        self.stall_every = stall_every
+        self.stall_seconds = stall_seconds
+        self.watchdog_cycles = watchdog_cycles
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind all decision counters; a replay sees identical faults."""
+        self._counters: dict[str, int] = {}
+        self._alloc_bytes = 0
+        self._failures_injected = 0
+
+    # ------------------------------------------------------------------
+    def _draw(self, domain: str) -> float:
+        """The next uniform [0,1) draw of a domain's decision stream."""
+        n = self._counters.get(domain, 0)
+        self._counters[domain] = n + 1
+        return float(
+            np.random.default_rng([self.seed, _DOMAINS[domain], n]).random()
+        )
+
+    # ------------------------------------------------------------------
+    def alloc_should_fail(self, nbytes: int) -> bool:
+        """Decide the fate of an allocation of ``nbytes``."""
+        self._alloc_bytes += int(nbytes)
+        return (
+            self.alloc_fail_after_bytes is not None
+            and self._alloc_bytes > self.alloc_fail_after_bytes
+        )
+
+    def transfer_outcome(self, direction: str) -> str:
+        """``"ok"`` | ``"fail"`` (transient) | ``"corrupt"`` for one attempt."""
+        p_fail = self.h2d_fail_prob if direction == "h2d" else self.d2h_fail_prob
+        if p_fail == 0.0 and self.corrupt_prob == 0.0:
+            return "ok"
+        u = self._draw(direction)
+        if u < p_fail:
+            if (
+                self.max_transfer_failures is not None
+                and self._failures_injected >= self.max_transfer_failures
+            ):
+                return "ok"
+            self._failures_injected += 1
+            return "fail"
+        if u < p_fail + self.corrupt_prob:
+            return "corrupt"
+        return "ok"
+
+    def corruption_site(self, nbytes: int) -> tuple[int, int]:
+        """(byte offset, bit index) to flip in a corrupted payload."""
+        n = self._counters.get("corrupt", 0)
+        self._counters["corrupt"] = n + 1
+        rng = np.random.default_rng([self.seed, _DOMAINS["corrupt"], n])
+        return int(rng.integers(max(nbytes, 1))), int(rng.integers(8))
+
+    def kernel_aborts(self, ordinal: int) -> bool:
+        """Does the launch with this 0-based ordinal abort?"""
+        return self.kernel_abort_at is not None and ordinal == self.kernel_abort_at
+
+    def stall_before(self, op_ordinal: int) -> float:
+        """Stall duration (s) to inject before the N-th submitted op."""
+        if self.stall_every and (op_ordinal + 1) % self.stall_every == 0:
+            return self.stall_seconds
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan(seed={self.seed})"

@@ -93,6 +93,14 @@ class DeviceEngine:
             self.running.append(op)
             return True
 
+        if op.kind == "delay":
+            # stalls and retry backoffs: occupy the stream, no resources
+            assert op.duration is not None
+            op.start_time = self.now
+            op.end_time = self.now + op.duration
+            self.running.append(op)
+            return True
+
         if op.kind in ("kernel", "graph"):
             if self.running_kernels >= self.gpu.max_concurrent_kernels:
                 return False
@@ -133,6 +141,8 @@ class DeviceEngine:
             lane = _COPY_KINDS[op.kind] or (
                 "copy D2H" if engine == "d2h" else "copy H2D"
             )
+        elif op.kind == "delay":
+            lane = op.stream.name
         else:
             self.free_sms += op.granted_sms
             self.running_kernels -= 1

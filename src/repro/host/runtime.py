@@ -27,11 +27,16 @@ import numpy as np
 from repro.arch.presets import PCIE3_X16
 from repro.arch.spec import GPUSpec, SystemSpec
 from repro.common.errors import (
+    AllocationError,
     GraphError,
+    InvalidAddressError,
+    KernelRuntimeError,
     LaunchConfigError,
     MemoryError_,
     StreamError,
+    cuda_error_name,
 )
+from repro.faults.plan import FaultLog, FaultPlan, RetryPolicy
 from repro.host.engine import DeviceEngine
 from repro.host.graph import ExecGraph, GraphNode, TaskGraph
 from repro.host.stream import Event, Op, Stream
@@ -39,6 +44,8 @@ from repro.host.timeline import Timeline
 from repro.host.unified import ManagedState
 from repro.mem.allocator import DeviceAllocator
 from repro.mem.buffer import DeviceArray
+from repro.sanitize.core import Sanitizer
+from repro.sanitize.session import current_session
 from repro.simt.dim3 import Dim3
 from repro.simt.executor import run_kernel
 from repro.simt.kernel import KernelDef
@@ -52,10 +59,45 @@ __all__ = ["CudaLite"]
 _CONSTANT_BANK_BYTES = 64 * 1024
 
 
-class CudaLite:
-    """A simulated GPU machine with a CUDA-runtime-style API."""
+#: Error classes that poison the context (CUDA sticky errors): once one
+#: escapes a launch, every later API call fails until :meth:`reset`.
+_STICKY_ERRORS = (KernelRuntimeError, InvalidAddressError)
 
-    def __init__(self, system: SystemSpec | GPUSpec | None = None) -> None:
+
+class CudaLite:
+    """A simulated GPU machine with a CUDA-runtime-style API.
+
+    Parameters
+    ----------
+    system:
+        Machine to simulate (GPU + link); defaults to CARINA (V100).
+    sanitize:
+        Attach a compute-sanitizer analog to every launch: ``"all"``,
+        a tool name, an iterable of tool names, or a prepared
+        :class:`~repro.sanitize.core.Sanitizer`.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` injecting deterministic
+        failures into allocations, transfers and launches.
+    watchdog_cycles:
+        Issue-cycle budget per kernel (display-watchdog analog).
+    retry:
+        Backoff policy for transient transfer faults.
+
+    Inside a :func:`~repro.sanitize.session.sanitize_session` block, the
+    session's sanitizer/faults/watchdog are the defaults for any of
+    these left unset, and the runtime registers itself with the session
+    so leakcheck can sweep it at session exit.
+    """
+
+    def __init__(
+        self,
+        system: SystemSpec | GPUSpec | None = None,
+        *,
+        sanitize: str | Sanitizer | Sequence[str] | None = None,
+        faults: FaultPlan | None = None,
+        watchdog_cycles: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         if system is None:
             from repro.arch.presets import CARINA
 
@@ -65,15 +107,65 @@ class CudaLite:
         self.system = system
         self.gpu = system.gpu
         self.link = system.link
+
+        session = current_session()
+        if session is not None:
+            if sanitize is None:
+                sanitize = session.sanitizer
+            if faults is None:
+                faults = session.faults
+            if watchdog_cycles is None:
+                watchdog_cycles = session.watchdog_cycles
+            session.runtimes.append(self)
+        self.sanitizer = self._as_sanitizer(sanitize)
+        self.faults = faults
+        self.fault_log = FaultLog()
+        self.retry = retry or RetryPolicy()
+        if watchdog_cycles is None and faults is not None:
+            watchdog_cycles = faults.watchdog_cycles
+        self.watchdog_cycles = watchdog_cycles
+        self._sticky: Exception | None = None
+        self._launch_ordinal = 0
+        self._op_ordinal = 0
+
         self.timeline = Timeline()
         self.engine = DeviceEngine(system, self.timeline)
-        self.allocator = DeviceAllocator(self.gpu.dram_size)
+        track_init = self.sanitizer is not None and self.sanitizer.enabled("memcheck")
+        self.allocator = DeviceAllocator(self.gpu.dram_size, track_init=track_init)
         self.default_stream = Stream(self, name="default stream")
         self.engine.register_stream(self.default_stream)
         self._managed: dict[int, ManagedState] = {}
         self._constant_bytes = 0
         self._capture: TaskGraph | None = None
         self.kernel_log: list[tuple[KernelStats, Op]] = []
+
+    @staticmethod
+    def _as_sanitizer(sanitize) -> Sanitizer | None:
+        if sanitize is None or isinstance(sanitize, Sanitizer):
+            return sanitize
+        return Sanitizer(sanitize)
+
+    # ==================================================================
+    # Sticky-error lifecycle
+    # ==================================================================
+    def _require_live(self) -> None:
+        """Every API entry point fails once the context is poisoned."""
+        exc = self._sticky
+        if exc is not None:
+            raise type(exc)(
+                f"context is in a sticky error state ({cuda_error_name(exc)}: "
+                f"{exc.args[0] if exc.args else exc}); call reset() to recover"
+            )
+
+    def _poison(self, exc: Exception) -> None:
+        """Record a context-poisoning error (first one wins)."""
+        if self._sticky is None and isinstance(exc, _STICKY_ERRORS):
+            self._sticky = exc
+
+    @property
+    def sticky_error(self) -> Exception | None:
+        """The error that poisoned the context, if any (``cudaGetLastError``)."""
+        return self._sticky
 
     # ==================================================================
     # Memory management
@@ -87,17 +179,32 @@ class CudaLite:
         offset: int = 0,
     ) -> DeviceArray:
         """``cudaMalloc``; ``offset`` deliberately mis-aligns (MemAlign)."""
+        self._require_live()
         dt = np.dtype(dtype)
         size = int(np.prod(shape)) if not isinstance(shape, int) else shape
-        alloc = self.allocator.malloc(max(size, 1) * dt.itemsize, align=align, offset=offset)
+        nbytes = max(size, 1) * dt.itemsize
+        self._maybe_fail_alloc(nbytes)
+        alloc = self.allocator.malloc(nbytes, align=align, offset=offset)
         return DeviceArray(alloc, dt, shape)
+
+    def _maybe_fail_alloc(self, nbytes: int) -> None:
+        plan = self.faults
+        if plan is not None and plan.alloc_should_fail(nbytes):
+            self.fault_log.record("alloc-fail", f"{nbytes} bytes")
+            # like a real cudaErrorMemoryAllocation, OOM is not sticky
+            raise AllocationError(
+                f"injected fault: allocation of {nbytes} bytes failed "
+                f"(budget of {plan.alloc_fail_after_bytes} bytes exhausted)"
+            )
 
     def malloc_managed(
         self, shape: int | tuple[int, ...], dtype: Any = np.float32
     ) -> DeviceArray:
         """``cudaMallocManaged``: unified memory, starts host-resident."""
+        self._require_live()
         dt = np.dtype(dtype)
         size = int(np.prod(shape)) if not isinstance(shape, int) else shape
+        self._maybe_fail_alloc(max(size, 1) * dt.itemsize)
         alloc = self.allocator.malloc(max(size, 1) * dt.itemsize, managed=True)
         self._managed[alloc.addr] = ManagedState(alloc, self.gpu.um_page_bytes)
         return DeviceArray(alloc, dt, shape)
@@ -182,6 +289,47 @@ class CudaLite:
             nbytes=nbytes,
         )
 
+    def _transfer_faults(self, direction: str, nbytes: int, stream: Stream) -> str:
+        """Resolve one transfer's injected outcome, retrying transient
+        failures with backoff.
+
+        Returns the final outcome (``"ok"`` or ``"corrupt"``) or raises
+        :class:`MemoryError_` once the retry budget is exhausted.  Each
+        retry occupies the stream with a simulated backoff delay.
+        """
+        plan = self.faults
+        if plan is None or self._capture is not None:
+            return "ok"
+        attempts = 0
+        while True:
+            outcome = plan.transfer_outcome(direction)
+            if outcome != "fail":
+                if attempts:
+                    self.fault_log.record(
+                        f"{direction}-recovered", f"after {attempts} retr"
+                        f"{'y' if attempts == 1 else 'ies'}"
+                    )
+                return outcome
+            attempts += 1
+            self.fault_log.record(
+                f"{direction}-fail",
+                f"attempt {attempts} of {self.retry.max_attempts} "
+                f"({nbytes} bytes)",
+            )
+            if attempts >= self.retry.max_attempts:
+                raise MemoryError_(
+                    f"injected fault: {direction.upper()} transfer of {nbytes} "
+                    f"bytes failed {attempts} times (retry budget exhausted)"
+                )
+            self._submit(
+                Op(
+                    kind="delay",
+                    name=f"{direction} retry backoff #{attempts}",
+                    stream=stream,
+                    duration=self.retry.backoff(attempts - 1),
+                )
+            )
+
     def memcpy_h2d(
         self,
         dst: DeviceArray,
@@ -192,8 +340,14 @@ class CudaLite:
         name: str | None = None,
     ) -> None:
         """``cudaMemcpy(HostToDevice)`` / ``cudaMemcpyAsync`` on a stream."""
+        self._require_live()
         stream = stream or self.default_stream
+        outcome = self._transfer_faults("h2d", dst.nbytes, stream)
         dst.fill_from(np.asarray(host, dtype=dst.dtype).reshape(dst.shape))
+        if outcome == "corrupt":
+            byte, bit = self.faults.corruption_site(dst.nbytes)
+            dst.alloc.data[dst.byte_offset + byte] ^= np.uint8(1 << bit)
+            self.fault_log.record("h2d-corrupt", f"bit {bit} of byte {byte}")
         st = self._managed.get(dst.alloc.addr)
         if st is not None:
             st.on_device[:] = True
@@ -210,10 +364,17 @@ class CudaLite:
         name: str | None = None,
     ) -> np.ndarray:
         """``cudaMemcpy(DeviceToHost)``; returns the host copy."""
+        self._require_live()
         stream = stream or self.default_stream
+        outcome = self._transfer_faults("d2h", src.nbytes, stream)
         op = self._copy_op("d2h", name or f"D2H {src.nbytes}B", src.nbytes, stream, pinned)
         self._submit_or_capture(op)
-        return src.to_host()
+        out = src.to_host()
+        if outcome == "corrupt":
+            byte, bit = self.faults.corruption_site(src.nbytes)
+            out.reshape(-1).view(np.uint8)[byte] ^= np.uint8(1 << bit)
+            self.fault_log.record("d2h-corrupt", f"bit {bit} of byte {byte}")
+        return out
 
     def memcpy_d2d(
         self,
@@ -224,10 +385,12 @@ class CudaLite:
         name: str | None = None,
     ) -> None:
         """Device-to-device copy at DRAM bandwidth (read + write)."""
+        self._require_live()
         if dst.nbytes != src.nbytes:
             raise MemoryError_("d2d size mismatch")
         stream = stream or self.default_stream
         dst.view[...] = src.view.reshape(dst.shape)
+        dst.mark_initialized()
         dur = 2.0 * dst.nbytes / self.gpu.dram_bandwidth
         op = Op(kind="d2d", name=name or f"D2D {dst.nbytes}B", stream=stream, duration=dur, nbytes=dst.nbytes)
         self._submit_or_capture(op)
@@ -315,9 +478,44 @@ class CudaLite:
         Executes functionally now; the timing op is scheduled on the
         stream and resolved at :meth:`synchronize`.  Managed allocations
         touched by the kernel enqueue their page migrations first.
+
+        A kernel-side failure — :class:`KernelRuntimeError` (including
+        an injected abort or :class:`WatchdogTimeout`) or
+        :class:`InvalidAddressError` — poisons the context: every later
+        API call fails with the same error until :meth:`reset`.
         """
+        self._require_live()
         stream = stream or self.default_stream
-        stats = run_kernel(kdef, grid, block, args, gpu=self.gpu, name=name)
+        ordinal = self._launch_ordinal
+        self._launch_ordinal += 1
+        plan = self.faults
+        if (
+            plan is not None
+            and self._capture is None
+            and plan.kernel_aborts(ordinal)
+        ):
+            kname = name or kdef.name
+            self.fault_log.record("kernel-abort", f"{kname} (launch #{ordinal})")
+            exc = KernelRuntimeError(
+                f"injected fault: kernel {kname!r} (launch #{ordinal}) "
+                "aborted mid-flight"
+            )
+            self._poison(exc)
+            raise exc
+        try:
+            stats = run_kernel(
+                kdef,
+                grid,
+                block,
+                args,
+                gpu=self.gpu,
+                name=name,
+                sanitizer=self.sanitizer,
+                watchdog_cycles=self.watchdog_cycles,
+            )
+        except _STICKY_ERRORS as exc:
+            self._poison(exc)
+            raise
         self._enqueue_migrations(stats, stream)
         op = self._kernel_op(stats, stream, launch_kind)
         self._submit_or_capture(op, stats=stats)
@@ -399,6 +597,7 @@ class CudaLite:
 
     def synchronize(self) -> float:
         """``cudaDeviceSynchronize``: drain all streams, return device time."""
+        self._require_live()
         if self._capture is not None:
             raise StreamError("cannot synchronize during graph capture")
         t = self.engine.run_until_idle()
@@ -432,6 +631,22 @@ class CudaLite:
     # ==================================================================
     def _submit_or_capture(self, op: Op, stats: KernelStats | None = None) -> None:
         if self._capture is None:
+            plan = self.faults
+            if plan is not None:
+                stall = plan.stall_before(self._op_ordinal)
+                if stall > 0.0:
+                    self.fault_log.record(
+                        "stream-stall", f"{stall * 1e3:g} ms before {op.name}"
+                    )
+                    self.engine.submit(
+                        Op(
+                            kind="delay",
+                            name=f"injected stall before {op.name}",
+                            stream=op.stream,
+                            duration=stall,
+                        )
+                    )
+            self._op_ordinal += 1
             self.engine.submit(op)
             return
         graph = self._capture
@@ -491,6 +706,7 @@ class CudaLite:
 
     def graph_launch(self, graph: ExecGraph, *, stream: Stream | None = None) -> None:
         """``cudaGraphLaunch``: one host call submits every node."""
+        self._require_live()
         if not isinstance(graph, ExecGraph):
             raise GraphError("graph_launch needs an instantiated ExecGraph")
         stream = stream or self.default_stream
@@ -538,6 +754,15 @@ class CudaLite:
         return report
 
     def reset(self) -> None:
-        """Clear timeline and logs (keeps memory contents)."""
+        """Clear timeline, logs and any sticky error (``cudaDeviceReset``
+        analog; keeps memory contents)."""
         self.timeline.clear()
         self.kernel_log.clear()
+        self._sticky = None
+
+    def close(self) -> None:
+        """Tear the context down; with leakcheck enabled, still-live
+        allocations become findings."""
+        san = self.sanitizer
+        if san is not None and san.enabled("leakcheck"):
+            san.check_leaks(self)

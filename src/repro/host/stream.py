@@ -30,7 +30,7 @@ class Op:
     grant at start time) must be provided.
     """
 
-    kind: str                    #: "kernel" | "h2d" | "d2h" | "d2d" | ...
+    kind: str                    #: "kernel" | "h2d" | "d2h" | "d2d" | "delay" | ...
     name: str
     stream: "Stream"
     duration: float | None = None

@@ -45,6 +45,10 @@ class Allocation:
         True for unified-memory allocations (``cudaMallocManaged``),
         which participate in page-migration accounting instead of
         explicit copies.
+    init_mask:
+        Optional initialized-byte shadow (memcheck's uninitialized-read
+        detection): present only when the allocator tracks
+        initialization, True for every byte a copy or store has written.
     """
 
     addr: int
@@ -52,6 +56,9 @@ class Allocation:
     data: np.ndarray
     managed: bool = False
     freed: bool = field(default=False, repr=False)
+    init_mask: np.ndarray | None = field(default=None, repr=False)
+    #: fast path: set once the whole shadow is True (monotonic)
+    _all_init: bool = field(default=False, repr=False)
 
     @property
     def end(self) -> int:
@@ -73,12 +80,20 @@ class DeviceAllocator:
     base:
         Address of the first allocatable byte.  Non-zero by default so
         that address 0 can never be a valid pointer.
+    track_init:
+        When True, every allocation carries an initialized-byte shadow
+        (:attr:`Allocation.init_mask`) for memcheck's uninitialized-read
+        detection.  Mutable: the sanitizing runtime flips it on before
+        the first allocation.
     """
 
-    def __init__(self, capacity: int, *, base: int = 1 << 20) -> None:
+    def __init__(
+        self, capacity: int, *, base: int = 1 << 20, track_init: bool = False
+    ) -> None:
         if capacity <= 0:
             raise AllocationError("device capacity must be positive")
         self._base = base
+        self.track_init = track_init
         self._capacity = int(capacity)
         # Free list of [start, end) holes, sorted by start.
         self._holes: list[tuple[int, int]] = [(base, base + capacity)]
@@ -102,6 +117,10 @@ class DeviceAllocator:
     @property
     def live_allocations(self) -> int:
         return len(self._live)
+
+    def iter_live(self) -> list[Allocation]:
+        """Snapshot of live allocations, in address order (leakcheck)."""
+        return sorted(self._live.values(), key=lambda a: a.addr)
 
     # -- allocation ------------------------------------------------------
     def malloc(
@@ -137,6 +156,9 @@ class DeviceAllocator:
                     nbytes=int(nbytes),
                     data=np.zeros(int(nbytes), dtype=np.uint8),
                     managed=managed,
+                    init_mask=(
+                        np.zeros(int(nbytes), dtype=bool) if self.track_init else None
+                    ),
                 )
                 self._live[addr] = alloc
                 self._bytes_in_use += alloc.nbytes

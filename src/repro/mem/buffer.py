@@ -52,6 +52,11 @@ class DeviceArray:
                 f"view of {nbytes} bytes at offset {self.byte_offset} overruns "
                 f"allocation of {alloc.nbytes} bytes"
             )
+        #: Logical element extent for memcheck's red-zone checking: when
+        #: set below ``size``, accesses in ``[logical_size, size)`` are
+        #: silently absorbed by the padding (hardware semantics) but
+        #: reported by memcheck.  None disables the check.
+        self.logical_size: int | None = None
 
     # -- geometry ----------------------------------------------------------
     @property
@@ -98,6 +103,23 @@ class DeviceArray:
                 f"host shape {host.shape} does not match device shape {self.shape}"
             )
         self.view[...] = host
+        self.mark_initialized()
+
+    def mark_initialized(self, flat_idx: np.ndarray | None = None) -> None:
+        """Record bytes as written in the allocation's init shadow.
+
+        No-op unless the allocator tracks initialization (memcheck).
+        With ``flat_idx`` given, marks only those elements; otherwise
+        the whole view.
+        """
+        im = self.alloc.init_mask
+        if im is None:
+            return
+        if flat_idx is None:
+            im[self.byte_offset : self.byte_offset + self.nbytes] = True
+            return
+        offs = self.byte_offset + np.asarray(flat_idx, dtype=np.int64) * self.itemsize
+        im[offs[:, None] + np.arange(self.itemsize)] = True
 
     # -- address arithmetic ------------------------------------------------
     def addr_of(self, flat_index: np.ndarray | int) -> np.ndarray:

@@ -1,0 +1,15 @@
+"""Compute-sanitizer analog: memcheck, racecheck, synccheck, leakcheck."""
+
+from repro.sanitize.core import TOOLS, Sanitizer
+from repro.sanitize.findings import SanitizerFinding, SanitizerReport
+from repro.sanitize.session import SanitizeSession, current_session, sanitize_session
+
+__all__ = [
+    "Sanitizer",
+    "TOOLS",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "SanitizeSession",
+    "current_session",
+    "sanitize_session",
+]

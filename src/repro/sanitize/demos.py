@@ -1,0 +1,162 @@
+"""Deliberately buggy demo kernels for the sanitizer.
+
+Each demo reproduces one class of bug the corresponding tool exists to
+catch — and, crucially, *runs cleanly without the sanitizer*, the way
+real CUDA bugs silently corrupt rather than crash:
+
+* ``oob-write`` — writes past the logical extent of an array into its
+  red-zone padding (memcheck);
+* ``uninit-read`` — reads a ``cudaMalloc``'d array nothing ever wrote
+  (memcheck);
+* ``shared-race`` — block-wide reversal through shared memory with the
+  ``__syncthreads()`` missing, so threads read elements other warps
+  are writing (racecheck);
+* ``divergent-barrier`` — a ``__syncthreads()`` inside a branch only
+  half the block takes (synccheck);
+* ``leak`` — device allocations never freed before teardown
+  (leakcheck);
+* ``clean`` — a correct AXPY that no tool should flag.
+
+Run them via ``python -m repro sanitize <demo> --tool all`` or directly
+with :func:`run_demo`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.host.runtime import CudaLite
+from repro.simt.kernel import kernel
+
+__all__ = ["DEMOS", "run_demo"]
+
+#: red-zone padding elements appended past each demo array's extent
+_RED_ZONE = 32
+
+
+@kernel
+def _oob_write_kernel(ctx, out, n):
+    """BUG: every thread writes 8 elements past its own index."""
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(out, i + 8, 1.0))
+
+
+@kernel
+def _uninit_read_kernel(ctx, x, y, n):
+    """BUG: ``x`` is read, but nothing ever wrote it."""
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(y, i, 2.0 * ctx.load(x, i)))
+
+
+@kernel
+def _shared_race_kernel(ctx, x, y, n):
+    """BUG: the barrier between the store and the reversed load is
+    missing, so each thread reads an element another warp writes."""
+    tile = ctx.shared_array(ctx.block.x, np.float32)
+    i = ctx.global_thread_id()
+    t = ctx.thread_idx_x
+    ctx.if_active(i < n, lambda: tile.store(t, ctx.load(x, i)))
+    # ... no ctx.syncthreads() here ...
+    rev = (ctx.block.x - 1) - t
+    ctx.if_active(i < n, lambda: ctx.store(y, i, tile.load(rev)))
+
+
+@kernel
+def _divergent_barrier_kernel(ctx, y, n):
+    """BUG: a barrier inside a branch only half the block takes."""
+    i = ctx.global_thread_id()
+    t = ctx.thread_idx_x
+
+    def first_half():
+        ctx.syncthreads(unsafe=True)
+        ctx.store(y, i, 1.0)
+
+    ctx.if_active((t < ctx.block.x // 2) & (i < n), first_half)
+
+
+@kernel
+def _clean_axpy_kernel(ctx, x, y, n, a):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(y, i, a * ctx.load(x, i) + ctx.load(y, i)))
+
+
+# ----------------------------------------------------------------------
+def _padded(rt: CudaLite, n: int) -> "object":
+    """An ``n``-element float32 array with red-zone padding behind it."""
+    arr = rt.malloc(n + _RED_ZONE, np.float32)
+    arr.logical_size = n
+    return arr
+
+
+def demo_oob_write(rt: CudaLite, *, n: int = 1 << 10, block: int = 128) -> None:
+    out = _padded(rt, n)
+    rt.launch(_oob_write_kernel, -(-n // block), block, out, n)
+    rt.synchronize()
+    rt.free(out)
+
+
+def demo_uninit_read(rt: CudaLite, *, n: int = 1 << 10, block: int = 128) -> None:
+    x = rt.malloc(n, np.float32)  # never written
+    y = rt.malloc(n, np.float32)
+    rt.launch(_uninit_read_kernel, -(-n // block), block, x, y, n)
+    rt.synchronize()
+    rt.free(x)
+    rt.free(y)
+
+
+def demo_shared_race(rt: CudaLite, *, n: int = 1 << 10, block: int = 128) -> None:
+    rng = np.random.default_rng(7)
+    x = rt.to_device(rng.random(n, dtype=np.float32))
+    y = rt.malloc(n, np.float32)
+    rt.launch(_shared_race_kernel, -(-n // block), block, x, y, n)
+    rt.synchronize()
+    rt.free(x)
+    rt.free(y)
+
+
+def demo_divergent_barrier(rt: CudaLite, *, n: int = 1 << 10, block: int = 128) -> None:
+    y = rt.malloc(n, np.float32)
+    rt.launch(_divergent_barrier_kernel, -(-n // block), block, y, n)
+    rt.synchronize()
+    rt.free(y)
+
+
+def demo_leak(rt: CudaLite, *, n: int = 1 << 10, **_: object) -> None:
+    for _i in range(3):
+        rt.malloc(n, np.float32)  # never freed
+    rt.synchronize()
+
+
+def demo_clean(rt: CudaLite, *, n: int = 1 << 10, block: int = 128) -> None:
+    rng = np.random.default_rng(7)
+    # timed copies route through memcpy_h2d, so injected transfer faults
+    # (and their retries) are exercised when a FaultPlan is attached
+    x = rt.to_device(rng.random(n, dtype=np.float32), timed=True)
+    y = rt.to_device(rng.random(n, dtype=np.float32), timed=True)
+    rt.launch(_clean_axpy_kernel, -(-n // block), block, x, y, n, 2.0)
+    rt.synchronize()
+    rt.free(x)
+    rt.free(y)
+
+
+#: demo name -> (runner, one-line description)
+DEMOS = {
+    "oob-write": (demo_oob_write, "global writes land in red-zone padding"),
+    "uninit-read": (demo_uninit_read, "reads of never-written device memory"),
+    "shared-race": (demo_shared_race, "shared reversal with a missing barrier"),
+    "divergent-barrier": (demo_divergent_barrier, "__syncthreads() in a branch"),
+    "leak": (demo_leak, "device allocations never freed"),
+    "clean": (demo_clean, "a correct AXPY; no findings expected"),
+}
+
+
+def run_demo(name: str, rt: CudaLite, **kwargs) -> None:
+    """Run one named demo on an existing runtime."""
+    try:
+        fn, _ = DEMOS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown sanitizer demo {name!r}; available: {', '.join(DEMOS)}"
+        ) from None
+    fn(rt, **kwargs)

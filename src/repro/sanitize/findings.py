@@ -1,0 +1,95 @@
+"""Sanitizer findings and the aggregated report.
+
+A :class:`SanitizerFinding` is the correctness-tool analog of the
+performance doctor's :class:`repro.host.doctor.Finding`: one detected
+problem, carrying the tool that found it, a severity, and — because
+correctness bugs are positional — the block/thread coordinates and
+device address where it happened, formatted the way
+``compute-sanitizer`` prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SanitizerError
+
+__all__ = ["SanitizerFinding", "SanitizerReport", "SEVERITIES"]
+
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One problem detected by a sanitizer tool."""
+
+    tool: str          #: "memcheck" | "racecheck" | "synccheck" | "leakcheck"
+    rule: str          #: short identifier, e.g. "global-oob-write"
+    severity: str      #: one of SEVERITIES
+    kernel: str        #: launch the problem occurred in ("" for teardown)
+    message: str
+    block: tuple[int, int, int] | None = None
+    thread: tuple[int, int, int] | None = None
+    address: int | None = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.kernel:
+            where.append(f"kernel {self.kernel}")
+        if self.block is not None:
+            where.append(f"block ({self.block[0]},{self.block[1]},{self.block[2]})")
+        if self.thread is not None:
+            where.append(
+                f"thread ({self.thread[0]},{self.thread[1]},{self.thread[2]})"
+            )
+        if self.address is not None:
+            where.append(f"address {self.address:#x}")
+        loc = f" [{', '.join(where)}]" if where else ""
+        return f"[{self.severity}] {self.tool}/{self.rule}: {self.message}{loc}"
+
+
+@dataclass
+class SanitizerReport:
+    """Every finding of one sanitized run, plus suppression accounting."""
+
+    tools: tuple[str, ...]
+    findings: list[SanitizerFinding] = field(default_factory=list)
+    suppressed: int = 0       #: findings dropped by the per-kernel cap
+
+    @property
+    def errors(self) -> list[SanitizerFinding]:
+        return [f for f in self.findings if f.severity == "critical"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no critical finding fired (warnings/info allowed)."""
+        return not self.errors
+
+    def by_tool(self, tool: str) -> list[SanitizerFinding]:
+        return [f for f in self.findings if f.tool == tool]
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`SanitizerError` when any critical finding fired."""
+        if not self.ok:
+            head = self.errors[0]
+            raise SanitizerError(
+                f"{len(self.errors)} sanitizer error(s); first: {head}"
+            )
+
+    def render(self) -> str:
+        """A compute-sanitizer style text report."""
+        lines = [f"========= sanitizer report (tools: {', '.join(self.tools)})"]
+        if not self.findings:
+            lines.append("========= no issues detected")
+        order = {s: i for i, s in enumerate(SEVERITIES[::-1])}
+        for f in sorted(self.findings, key=lambda f: order[f.severity]):
+            lines.append(f"  {f}")
+        if self.suppressed:
+            lines.append(
+                f"  ... {self.suppressed} further finding(s) suppressed by cap"
+            )
+        n_err = len(self.errors)
+        lines.append(
+            f"========= {len(self.findings)} finding(s), {n_err} error(s)"
+        )
+        return "\n".join(lines)

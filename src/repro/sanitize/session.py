@@ -1,0 +1,77 @@
+"""Ambient sanitize/fault sessions.
+
+The microbenchmark classes construct their own
+:class:`~repro.host.runtime.CudaLite` internally, so the CLI (and any
+caller that cannot thread parameters through) needs a way to say "every
+runtime created in this block runs sanitized / fault-injected".  A
+:func:`sanitize_session` provides exactly that through a
+:class:`contextvars.ContextVar`: runtimes created inside the ``with``
+block pick up the session's sanitizer, fault plan, and watchdog budget
+as their defaults, and register themselves so leakcheck can sweep them
+at session exit::
+
+    san = Sanitizer("all")
+    with sanitize_session(sanitizer=san) as session:
+        get_benchmark("MemAlign").run(n=1 << 16)
+    print(san.report().render())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.sanitize.core import Sanitizer
+
+__all__ = ["SanitizeSession", "sanitize_session", "current_session"]
+
+
+@dataclass
+class SanitizeSession:
+    """Ambient defaults for runtimes created within the session."""
+
+    sanitizer: "Sanitizer | None" = None
+    faults: "FaultPlan | None" = None
+    watchdog_cycles: float | None = None
+    #: every CudaLite constructed while the session was active
+    runtimes: list = field(default_factory=list)
+
+
+_ACTIVE: ContextVar[SanitizeSession | None] = ContextVar(
+    "repro_sanitize_session", default=None
+)
+
+
+def current_session() -> SanitizeSession | None:
+    """The innermost active session, or None."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def sanitize_session(
+    sanitizer: "Sanitizer | None" = None,
+    *,
+    faults: "FaultPlan | None" = None,
+    watchdog_cycles: float | None = None,
+) -> Iterator[SanitizeSession]:
+    """Make ``sanitizer``/``faults`` ambient for runtimes created inside.
+
+    On exit, a sanitizer with leakcheck enabled sweeps every runtime
+    the session saw for still-live allocations (the
+    ``cudaDeviceReset``-time leak report).
+    """
+    session = SanitizeSession(
+        sanitizer=sanitizer, faults=faults, watchdog_cycles=watchdog_cycles
+    )
+    token = _ACTIVE.set(session)
+    try:
+        yield session
+    finally:
+        _ACTIVE.reset(token)
+        if sanitizer is not None and sanitizer.enabled("leakcheck"):
+            for rt in session.runtimes:
+                sanitizer.check_leaks(rt)

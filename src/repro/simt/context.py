@@ -23,7 +23,7 @@ from typing import Callable
 import numpy as np
 
 from repro.arch.spec import GPUSpec
-from repro.common.errors import KernelRuntimeError
+from repro.common.errors import KernelRuntimeError, WatchdogTimeout
 from repro.mem.trace import AccessTrace
 from repro.simt.dim3 import Dim3
 from repro.simt.lanevec import LaneVec
@@ -43,8 +43,15 @@ class ThreadContext(MemoryOpsMixin):
         block: Dim3,
         *,
         name: str = "kernel",
+        sanitizer=None,
+        watchdog_cycles: float | None = None,
     ) -> None:
         self.gpu = gpu
+        #: optional :class:`~repro.sanitize.core.Sanitizer` observing
+        #: this launch's memory accesses and barriers
+        self.sanitizer = sanitizer
+        #: issue-cycle budget; exceeding it raises :class:`WatchdogTimeout`
+        self.watchdog_cycles = watchdog_cycles
         self.grid = grid
         self.block = block
         self.warp_size = gpu.warp_size
@@ -131,6 +138,13 @@ class ThreadContext(MemoryOpsMixin):
         st.issue_cycles += self.gpu.op_cycles(op_class) * self._active_warps * count
         st.warp_instructions += self._active_warps * count
         st.thread_instructions += self._active_lanes * count
+        wd = self.watchdog_cycles
+        if wd is not None and st.issue_cycles > wd:
+            raise WatchdogTimeout(
+                f"kernel {st.name!r} exceeded the watchdog budget of "
+                f"{wd:g} issue cycles (at {st.issue_cycles:g}); the display "
+                "watchdog (WDDM TDR analog) killed it"
+            )
 
     # ------------------------------------------------------------------
     # Geometry (CUDA special registers; reads are free)
@@ -512,15 +526,23 @@ class ThreadContext(MemoryOpsMixin):
         already completes grid-wide before the next); for timing it
         charges a small pipeline-drain cost and counts the barrier.
         Calling it under divergence is undefined behaviour in CUDA, so
-        the simulator raises unless ``unsafe=True``.
+        the simulator raises unless ``unsafe=True``; with synccheck
+        enabled the divergence is reported as a finding instead and
+        execution continues (compute-sanitizer semantics).
         """
-        if not unsafe and not np.array_equal(self._mask, self._base_mask):
-            raise KernelRuntimeError(
-                "__syncthreads() reached under divergence (some threads of a "
-                "block would not arrive); pass unsafe=True to mimic hardware "
-                "deadlock-free-by-luck behaviour"
-            )
+        san = self.sanitizer
+        if not np.array_equal(self._mask, self._base_mask):
+            if san is not None and san.enabled("synccheck"):
+                san.barrier_divergence(self)
+            elif not unsafe:
+                raise KernelRuntimeError(
+                    "__syncthreads() reached under divergence (some threads of "
+                    "a block would not arrive); pass unsafe=True to mimic "
+                    "hardware deadlock-free-by-luck behaviour"
+                )
         self.stats.barriers += 1
+        if san is not None and san.enabled("racecheck"):
+            san.on_barrier(self)
         # ~2 cycles of issue per warp for the bar.sync handshake
         self.charge("branch", count=2)
 

@@ -76,6 +76,8 @@ def run_kernel(
     gpu: GPUSpec,
     name: str | None = None,
     max_sim_threads: int = MAX_SIM_THREADS,
+    sanitizer=None,
+    watchdog_cycles: float | None = None,
     _depth: int = 0,
 ) -> KernelStats:
     """Execute one kernel launch and return its statistics.
@@ -84,6 +86,10 @@ def run_kernel(
     arrays passed through ``args``.  Device-side child launches
     (dynamic parallelism) run after the parent in submission order and
     their statistics merge into the returned :class:`KernelStats`.
+
+    ``sanitizer`` attaches a :class:`~repro.sanitize.core.Sanitizer` to
+    the launch; ``watchdog_cycles`` bounds the kernel's issue cycles
+    (:class:`~repro.common.errors.WatchdogTimeout` past the budget).
     """
     if _depth > MAX_NESTING_DEPTH:
         raise LaunchConfigError(
@@ -101,7 +107,14 @@ def run_kernel(
     if total == 0:
         raise LaunchConfigError("empty launch")
 
-    ctx = ThreadContext(gpu, grid, block, name=name or kdef.name)
+    ctx = ThreadContext(
+        gpu,
+        grid,
+        block,
+        name=name or kdef.name,
+        sanitizer=sanitizer,
+        watchdog_cycles=watchdog_cycles,
+    )
     try:
         kdef(ctx, *args)
     except RecursionError as exc:  # pragma: no cover - defensive
@@ -126,6 +139,8 @@ def run_kernel(
             cargs,
             gpu=gpu,
             max_sim_threads=max_sim_threads,
+            sanitizer=sanitizer,
+            watchdog_cycles=watchdog_cycles,
             _depth=_depth + 1,
         )
         stats.merge_child(child)

@@ -34,8 +34,14 @@ class MemoryOpsMixin:
     # Attributes provided by ThreadContext
     gpu: object
     stats: object
+    sanitizer: object
     total_lanes: int
     warp_size: int
+
+    def _memcheck(self):
+        """The active sanitizer if memcheck is enabled, else None."""
+        san = self.sanitizer
+        return san if san is not None and san.enabled("memcheck") else None
 
     # ------------------------------------------------------------------
     def _index_data(self, index) -> np.ndarray:
@@ -76,10 +82,22 @@ class MemoryOpsMixin:
         label: str,
         flat_override: np.ndarray | None = None,
     ):
-        """Analyze + record one access; returns (safe flat index, mask)."""
+        """Analyze + record one access; returns (safe flat index, mask).
+
+        With memcheck enabled, out-of-bounds lanes become findings and
+        are dropped from the returned mask instead of raising — the
+        kernel keeps running, as under ``compute-sanitizer``.
+        """
         idx = flat_override if flat_override is not None else self._index_data(index)
-        idx_safe = self._checked_safe_index(arr.size, idx, label or space)
-        mask = self._mask
+        san = self._memcheck()
+        if san is not None:
+            mask = san.check_global_bounds(
+                self, arr, idx, self._mask, label or space, is_store
+            )
+            idx_safe = np.where(mask, idx, 0)
+        else:
+            idx_safe = self._checked_safe_index(arr.size, idx, label or space)
+            mask = self._mask
         if not mask.any():
             return idx_safe, mask
 
@@ -127,6 +145,9 @@ class MemoryOpsMixin:
         idx_safe, mask = self._global_access(
             arr, index, space="global", is_store=False, label=label
         )
+        san = self._memcheck()
+        if san is not None:
+            san.check_uninit_read(self, arr, idx_safe, mask, label)
         flat = arr.view.reshape(-1)
         values = flat[idx_safe]
         if not mask.all():
@@ -143,6 +164,8 @@ class MemoryOpsMixin:
         val = self.as_lanevec(value).data.astype(arr.dtype, copy=False)
         flat = arr.view.reshape(-1)
         flat[idx_safe[mask]] = val[mask]
+        if arr.alloc.init_mask is not None:
+            arr.mark_initialized(idx_safe[mask])
 
     def load_readonly(self, arr: DeviceArray, index, label: str = "") -> LaneVec:
         """``__ldg``-style load through the read-only/texture data path.
@@ -153,6 +176,9 @@ class MemoryOpsMixin:
         idx_safe, mask = self._global_access(
             arr, index, space="texture", is_store=False, label=label or "ldg"
         )
+        san = self._memcheck()
+        if san is not None:
+            san.check_uninit_read(self, arr, idx_safe, mask, label or "ldg")
         flat = arr.view.reshape(-1)
         values = flat[idx_safe]
         if not mask.all():
@@ -186,6 +212,8 @@ class MemoryOpsMixin:
         st = self.stats
         st.atomics += int(mask.sum())
         st.issue_cycles += float(mask.sum())  # serialization cycles
+        if arr.alloc.init_mask is not None:
+            arr.mark_initialized(idx_safe[mask])
         _ = idx
         return self._lv(pre)
 
@@ -202,8 +230,16 @@ class MemoryOpsMixin:
         The constant bank is assumed cache-resident (<= 64 KiB).
         """
         idx = self._index_data(index)
-        idx_safe = self._checked_safe_index(arr.size, idx, label or "constant")
-        mask = self._mask
+        san = self._memcheck()
+        if san is not None:
+            mask = san.check_global_bounds(
+                self, arr, idx, self._mask, label or "constant", False
+            )
+            idx_safe = np.where(mask, idx, 0)
+            san.check_uninit_read(self, arr, idx_safe, mask, label or "constant")
+        else:
+            idx_safe = self._checked_safe_index(arr.size, idx, label or "constant")
+            mask = self._mask
         if mask.any():
             i2d, m2d = lanes_to_warps(idx_safe, mask, self.warp_size)
             distinct = warp_distinct_counts(i2d, m2d)

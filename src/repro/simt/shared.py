@@ -72,10 +72,16 @@ class SharedArray:
             d = np.broadcast_to(d, (ctx.total_lanes,))
         return d.astype(np.int64, copy=False)
 
-    def _account(self, flat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _account(
+        self, flat: np.ndarray, is_store: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
         ctx = self.ctx
+        san = ctx.sanitizer
+        memcheck = san is not None and san.enabled("memcheck")
         mask = ctx.mask
-        if mask.any():
+        if memcheck:
+            mask = san.check_shared_bounds(ctx, self, flat, mask, is_store)
+        elif mask.any():
             act = flat[mask]
             if act.min() < 0 or act.max() >= self.elems_per_block:
                 bad = int(act.min() if act.min() < 0 else act.max())
@@ -101,13 +107,15 @@ class SharedArray:
             st.warp_instructions += summary.n_warps
             st.thread_instructions += summary.n_active_lanes
         global_flat = ctx._block_of_lane * self.elems_per_block + flat_safe
+        if san is not None and san.enabled("racecheck"):
+            san.shared_access(ctx, self, global_flat, mask, is_store)
         return global_flat, mask
 
     # ------------------------------------------------------------------
     def load(self, index) -> LaneVec:
         """Shared-memory gather for active lanes."""
         flat = self._flatten_index(index)
-        gflat, mask = self._account(flat)
+        gflat, mask = self._account(flat, is_store=False)
         values = self._data[gflat]
         if not mask.all():
             values = np.where(mask, values, np.zeros((), dtype=self.dtype))
@@ -116,7 +124,7 @@ class SharedArray:
     def store(self, index, value) -> None:
         """Shared-memory scatter for active lanes."""
         flat = self._flatten_index(index)
-        gflat, mask = self._account(flat)
+        gflat, mask = self._account(flat, is_store=True)
         if not mask.any():
             return
         val = self.ctx.as_lanevec(value).data.astype(self.dtype, copy=False)

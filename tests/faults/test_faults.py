@@ -1,0 +1,195 @@
+"""Deterministic fault injection and sticky-error runtime semantics."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import CARINA
+from repro.common.errors import (
+    AllocationError,
+    KernelRuntimeError,
+    MemoryError_,
+    ReproError,
+    WatchdogTimeout,
+    cuda_error_name,
+)
+from repro.faults import FaultLog, FaultPlan, RetryPolicy
+from repro.host.runtime import CudaLite
+from repro.kernels.axpy import axpy_1per_thread
+
+
+def _rt(plan=None, **kw):
+    return CudaLite(CARINA, faults=plan, **kw)
+
+
+class TestFaultPlan:
+    def test_deterministic_across_replays(self):
+        a = FaultPlan(17, h2d_fail_prob=0.4, corrupt_prob=0.2)
+        b = FaultPlan(17, h2d_fail_prob=0.4, corrupt_prob=0.2)
+        seq_a = [a.transfer_outcome("h2d") for _ in range(64)]
+        seq_b = [b.transfer_outcome("h2d") for _ in range(64)]
+        assert seq_a == seq_b
+        assert set(seq_a) == {"ok", "fail", "corrupt"}
+
+    def test_reset_rewinds_counters(self):
+        plan = FaultPlan(5, d2h_fail_prob=0.5)
+        first = [plan.transfer_outcome("d2h") for _ in range(32)]
+        plan.reset()
+        assert [plan.transfer_outcome("d2h") for _ in range(32)] == first
+
+    def test_seeds_decorrelate(self):
+        def seq(s):
+            plan = FaultPlan(s, h2d_fail_prob=0.5)
+            return tuple(plan.transfer_outcome("h2d") for _ in range(32))
+
+        assert len({seq(s) for s in range(4)}) == 4
+
+    def test_probability_validation(self):
+        with pytest.raises(ReproError):
+            FaultPlan(0, h2d_fail_prob=1.5)
+        with pytest.raises(ReproError):
+            FaultPlan(0, h2d_fail_prob=0.8, corrupt_prob=0.4)
+
+    def test_max_transfer_failures_cap(self):
+        plan = FaultPlan(0, h2d_fail_prob=1.0, max_transfer_failures=2)
+        outcomes = [plan.transfer_outcome("h2d") for _ in range(5)]
+        assert outcomes == ["fail", "fail", "ok", "ok", "ok"]
+
+
+class TestTransferRetry:
+    def test_h2d_retries_and_recovers(self):
+        """First attempt fails deterministically; the retry lands the data."""
+        plan = FaultPlan(3, h2d_fail_prob=1.0, max_transfer_failures=1)
+        rt = _rt(plan)
+        x = rt.malloc(1024, np.float32)
+        host = np.arange(1024, dtype=np.float32)
+        rt.memcpy_h2d(x, host)
+        assert (x.to_host() == host).all()
+        assert rt.fault_log.count("h2d-fail") == 1
+        assert rt.fault_log.count("h2d-recovered") == 1
+
+    def test_retry_budget_exhausted_raises(self):
+        plan = FaultPlan(3, h2d_fail_prob=1.0)
+        rt = _rt(plan, retry=RetryPolicy(max_attempts=3))
+        x = rt.malloc(64, np.float32)
+        with pytest.raises(MemoryError_, match="injected fault"):
+            rt.memcpy_h2d(x, np.zeros(64, dtype=np.float32))
+        assert rt.fault_log.count("h2d-fail") == 3
+        rt.synchronize()  # transfer errors are not sticky
+
+    def test_backoff_occupies_the_stream(self):
+        plan = FaultPlan(3, h2d_fail_prob=1.0, max_transfer_failures=1)
+        rt = _rt(plan, retry=RetryPolicy(backoff_s=1e-3))
+        x = rt.malloc(1024, np.float32)
+        rt.memcpy_h2d(x, np.zeros(1024, dtype=np.float32))
+        elapsed = rt.synchronize()
+        assert elapsed >= 1e-3  # the simulated backoff delay is visible
+
+    def test_d2h_corruption_flips_one_bit(self):
+        plan = FaultPlan(9, corrupt_prob=1.0)
+        rt = _rt(plan)
+        host = np.arange(256, dtype=np.float32)
+        x = rt.malloc(256, np.float32)
+        x.fill_from(host)
+        out = rt.memcpy_d2h(x)
+        assert rt.fault_log.count("d2h-corrupt") == 1
+        diff = out.view(np.uint8) ^ host.view(np.uint8)
+        assert int(diff.sum()) and bin(int(diff[diff != 0][0])).count("1") == 1
+        assert (x.to_host() == host).all()  # device side untouched
+
+
+class TestKernelAbortSticky:
+    def test_abort_poisons_until_reset(self):
+        plan = FaultPlan(0, kernel_abort_at=0)
+        rt = _rt(plan)
+        x = rt.to_device(np.ones(256, dtype=np.float32))
+        y = rt.to_device(np.ones(256, dtype=np.float32))
+        with pytest.raises(KernelRuntimeError, match="injected fault"):
+            rt.launch(axpy_1per_thread, 1, 256, x, y, 256, 2.0)
+        assert isinstance(rt.sticky_error, KernelRuntimeError)
+        # every API entry point now fails with the sticky error class
+        with pytest.raises(KernelRuntimeError, match="sticky"):
+            rt.malloc(4)
+        with pytest.raises(KernelRuntimeError, match="sticky"):
+            rt.synchronize()
+        with pytest.raises(KernelRuntimeError, match="sticky"):
+            rt.memcpy_d2h(x)
+        rt.reset()
+        assert rt.sticky_error is None
+        # launch ordinal 1 is past the abort point: runs fine
+        rt.launch(axpy_1per_thread, 1, 256, x, y, 256, 2.0)
+        rt.synchronize()
+        assert (y.to_host() == 3.0).all()
+
+    def test_abort_ordinal_is_deterministic(self):
+        plan = FaultPlan(0, kernel_abort_at=1)
+        rt = _rt(plan)
+        x = rt.to_device(np.ones(64, dtype=np.float32))
+        y = rt.to_device(np.ones(64, dtype=np.float32))
+        rt.launch(axpy_1per_thread, 1, 64, x, y, 64, 2.0)  # ordinal 0 fine
+        with pytest.raises(KernelRuntimeError):
+            rt.launch(axpy_1per_thread, 1, 64, x, y, 64, 2.0)  # ordinal 1
+
+
+class TestWatchdog:
+    def test_runaway_kernel_killed(self):
+        rt = CudaLite(CARINA, watchdog_cycles=10.0)
+        x = rt.malloc(16384, np.float32)
+        y = rt.malloc(16384, np.float32)
+        with pytest.raises(WatchdogTimeout, match="watchdog"):
+            rt.launch(axpy_1per_thread, 64, 256, x, y, 16384, 2.0)
+        # WatchdogTimeout is a KernelRuntimeError and is sticky
+        with pytest.raises(KernelRuntimeError):
+            rt.malloc(4)
+        rt.reset()
+        rt.malloc(4)
+
+    def test_watchdog_from_fault_plan(self):
+        plan = FaultPlan(0, watchdog_cycles=10.0)
+        rt = _rt(plan)
+        x = rt.malloc(16384, np.float32)
+        y = rt.malloc(16384, np.float32)
+        with pytest.raises(WatchdogTimeout):
+            rt.launch(axpy_1per_thread, 64, 256, x, y, 16384, 2.0)
+
+    def test_generous_budget_passes(self):
+        rt = CudaLite(CARINA, watchdog_cycles=1e9)
+        x = rt.to_device(np.ones(256, dtype=np.float32))
+        y = rt.to_device(np.ones(256, dtype=np.float32))
+        rt.launch(axpy_1per_thread, 1, 256, x, y, 256, 2.0)
+        rt.synchronize()
+
+
+class TestAllocAndStall:
+    def test_alloc_budget(self):
+        plan = FaultPlan(0, alloc_fail_after_bytes=8192)
+        rt = _rt(plan)
+        rt.malloc(1024, np.float32)  # 4096 bytes: inside budget
+        with pytest.raises(AllocationError, match="injected fault"):
+            rt.malloc(4096, np.float32)
+        # OOM is not sticky, mirroring cudaErrorMemoryAllocation
+        rt.synchronize()
+
+    def test_stall_every_op(self):
+        plan = FaultPlan(0, stall_every=1, stall_seconds=1e-3)
+        rt = _rt(plan)
+        x = rt.malloc(1024, np.float32)
+        rt.memcpy_h2d(x, np.zeros(1024, dtype=np.float32))
+        assert rt.fault_log.count("stream-stall") == 1
+        assert rt.synchronize() >= 1e-3
+
+
+class TestErrorNames:
+    def test_cuda_error_names(self):
+        assert cuda_error_name(WatchdogTimeout("x")) == "cudaErrorLaunchTimeout"
+        assert cuda_error_name(KernelRuntimeError("x")) == "cudaErrorLaunchFailure"
+        assert cuda_error_name(AllocationError("x")) == "cudaErrorMemoryAllocation"
+        assert cuda_error_name(ReproError("x")) == "cudaErrorUnknown"
+
+    def test_str_carries_cuda_error(self):
+        assert "[cudaErrorLaunchTimeout]" in str(WatchdogTimeout("too slow"))
+
+    def test_fault_log_render(self):
+        log = FaultLog()
+        assert "no faults" in log.render()
+        log.record("h2d-fail", "attempt 1")
+        assert "h2d-fail" in log.render()

@@ -1,0 +1,86 @@
+"""Launch-validation error paths through the CudaLite front door.
+
+The executor-level checks have their own tests; these exercise the same
+rejections end-to-end through :meth:`CudaLite.launch`, the way user
+code hits them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import CARINA
+from repro.common.errors import LaunchConfigError, cuda_error_name
+from repro.host.runtime import CudaLite
+from repro.kernels.axpy import axpy_1per_thread
+from repro.simt.kernel import kernel
+
+
+@pytest.fixture
+def xy(rt):
+    x = rt.to_device(np.ones(256, dtype=np.float32))
+    y = rt.to_device(np.ones(256, dtype=np.float32))
+    return x, y
+
+
+class TestDimValidation:
+    def test_zero_grid_dim(self, rt, xy):
+        with pytest.raises(LaunchConfigError):
+            rt.launch(axpy_1per_thread, 0, 256, *xy, 256, 2.0)
+
+    def test_zero_block_dim(self, rt, xy):
+        with pytest.raises(LaunchConfigError):
+            rt.launch(axpy_1per_thread, 1, 0, *xy, 256, 2.0)
+
+    def test_negative_grid_dim(self, rt, xy):
+        with pytest.raises(LaunchConfigError):
+            rt.launch(axpy_1per_thread, -1, 256, *xy, 256, 2.0)
+
+    def test_negative_block_axis(self, rt, xy):
+        with pytest.raises(LaunchConfigError):
+            rt.launch(axpy_1per_thread, 1, (16, -2), *xy, 256, 2.0)
+
+    def test_config_errors_are_not_sticky(self, rt, xy):
+        with pytest.raises(LaunchConfigError):
+            rt.launch(axpy_1per_thread, 1, 0, *xy, 256, 2.0)
+        rt.launch(axpy_1per_thread, 1, 256, *xy, 256, 2.0)
+        rt.synchronize()
+
+
+class TestArchitectureLimits:
+    def test_block_over_thread_limit(self, rt, xy):
+        limit = rt.gpu.max_threads_per_block
+        with pytest.raises(LaunchConfigError, match=str(limit)):
+            rt.launch(axpy_1per_thread, 1, limit + 1, *xy, 256, 2.0)
+
+    def test_block_axis_over_limit(self, rt, xy):
+        zmax = rt.gpu.max_block_dim[2]
+        with pytest.raises(LaunchConfigError, match="blockDim.z"):
+            rt.launch(axpy_1per_thread, 1, (1, 1, zmax + 1), *xy, 256, 2.0)
+
+    def test_grid_axis_over_limit(self, rt, xy):
+        ymax = rt.gpu.max_grid_dim[1]
+        with pytest.raises(LaunchConfigError, match="gridDim.y"):
+            rt.launch(axpy_1per_thread, (1, ymax + 1, 1), 32, *xy, 256, 2.0)
+
+    def test_shared_mem_over_capacity(self, rt):
+        cap = rt.gpu.shared_mem_per_block
+
+        @kernel
+        def hog(ctx):
+            ctx.shared_array(cap // 4 + 64, np.float32)
+
+        with pytest.raises(LaunchConfigError, match="shared memory"):
+            rt.launch(hog, 1, 32)
+
+    def test_simulation_guard_rail(self, rt, xy):
+        from repro.simt.executor import MAX_SIM_THREADS
+
+        blocks = MAX_SIM_THREADS // 256 + 1
+        if blocks <= rt.gpu.max_grid_dim[0]:
+            with pytest.raises(LaunchConfigError, match="guard rail"):
+                rt.launch(axpy_1per_thread, blocks, 256, *xy, 256, 2.0)
+
+    def test_launch_config_error_name(self):
+        assert (
+            cuda_error_name(LaunchConfigError("x")) == "cudaErrorInvalidConfiguration"
+        )

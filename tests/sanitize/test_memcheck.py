@@ -1,0 +1,153 @@
+"""memcheck: OOB detection with coordinates, red zones, init tracking."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import CARINA
+from repro.common.errors import InvalidAddressError, SanitizerError
+from repro.host.runtime import CudaLite
+from repro.sanitize import Sanitizer
+from repro.simt.kernel import kernel
+
+
+@kernel
+def oob_store(ctx, out, n):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(out, i + 8, 1.0))
+
+
+@kernel
+def wild_store(ctx, out, n):
+    """Writes far outside the array (hard OOB)."""
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(out, i + 10 * n, 1.0))
+
+
+@kernel
+def read_only(ctx, x, y, n):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(y, i, ctx.load(x, i)))
+
+
+def _memcheck_rt():
+    san = Sanitizer("memcheck")
+    return san, CudaLite(CARINA, sanitize=san)
+
+
+class TestRedZone:
+    def test_redzone_writes_reported_with_coords(self):
+        san, rt = _memcheck_rt()
+        out = rt.malloc(1024 + 32, np.float32)
+        out.logical_size = 1024
+        rt.launch(oob_store, 8, 128, out, 1024)
+        findings = san.report().findings
+        assert len(findings) == 8
+        f = findings[0]
+        assert f.tool == "memcheck" and f.rule == "global-oob-write"
+        assert f.severity == "critical"
+        # thread 120 of block 7 computes i = 7*128+120 = 1016, writes 1024
+        assert f.block == (7, 0, 0) and f.thread == (120, 0, 0)
+        assert f.address == out.base_addr + 1024 * 4
+        assert "1024" in f.message
+
+    def test_redzone_write_still_lands(self):
+        """Hardware semantics: the red-zone write happens anyway."""
+        san, rt = _memcheck_rt()
+        out = rt.malloc(1024 + 32, np.float32)
+        out.logical_size = 1024
+        rt.launch(oob_store, 8, 128, out, 1024)
+        assert out.view[1024] == 1.0
+
+    def test_clean_without_sanitizer(self):
+        """The same kernel is silent when memcheck is off (padding absorbs)."""
+        rt = CudaLite(CARINA)
+        out = rt.malloc(1024 + 32, np.float32)
+        out.logical_size = 1024
+        rt.launch(oob_store, 8, 128, out, 1024)  # no raise
+
+    def test_no_logical_size_no_redzone_findings(self):
+        san, rt = _memcheck_rt()
+        out = rt.malloc(1024 + 32, np.float32)
+        rt.launch(oob_store, 8, 128, out, 1024)
+        assert san.report().findings == []
+
+
+class TestHardOOB:
+    def test_reported_not_raised_and_suppressed(self):
+        san, rt = _memcheck_rt()
+        out = rt.malloc(64, np.float32)
+        before = out.view.copy()
+        rt.launch(wild_store, 1, 64, out, 64)
+        findings = san.report().findings
+        assert findings and all(f.rule == "global-oob-write" for f in findings)
+        # suppressed lanes: nothing was written anywhere
+        assert (out.view == before).all()
+
+    def test_raises_without_sanitizer(self):
+        rt = CudaLite(CARINA)
+        out = rt.malloc(64, np.float32)
+        with pytest.raises(InvalidAddressError):
+            rt.launch(wild_store, 1, 64, out, 64)
+
+    def test_launch_error_is_sticky_without_sanitizer(self):
+        rt = CudaLite(CARINA)
+        out = rt.malloc(64, np.float32)
+        with pytest.raises(InvalidAddressError):
+            rt.launch(wild_store, 1, 64, out, 64)
+        with pytest.raises(InvalidAddressError):
+            rt.malloc(4)
+        rt.reset()
+        rt.malloc(4)  # recovered
+
+
+class TestUninitRead:
+    def test_uninitialized_read_is_warning(self):
+        san, rt = _memcheck_rt()
+        x = rt.malloc(256, np.float32)  # never written
+        y = rt.malloc(256, np.float32)
+        rt.launch(read_only, 2, 128, x, y, 256)
+        findings = [f for f in san.report().findings if f.rule == "uninitialized-read"]
+        assert findings
+        assert all(f.severity == "warning" for f in findings)
+        assert san.report().ok  # warnings do not fail the run
+
+    def test_initialized_read_is_clean(self):
+        san, rt = _memcheck_rt()
+        x = rt.to_device(np.ones(256, dtype=np.float32))
+        y = rt.malloc(256, np.float32)
+        rt.launch(read_only, 2, 128, x, y, 256)
+        assert san.report().findings == []
+
+    def test_kernel_store_marks_initialized(self):
+        san, rt = _memcheck_rt()
+        x = rt.to_device(np.ones(256, dtype=np.float32))
+        y = rt.malloc(256, np.float32)
+        rt.launch(read_only, 2, 128, x, y, 256)  # writes y
+        z = rt.malloc(256, np.float32)
+        rt.launch(read_only, 2, 128, y, z, 256)  # reads y: now initialized
+        assert san.report().findings == []
+
+
+class TestReport:
+    def test_raise_if_errors(self):
+        san, rt = _memcheck_rt()
+        out = rt.malloc(64, np.float32)
+        rt.launch(wild_store, 1, 64, out, 64)
+        with pytest.raises(SanitizerError):
+            san.report().raise_if_errors()
+
+    def test_render_mentions_tool_and_counts(self):
+        san, rt = _memcheck_rt()
+        out = rt.malloc(1024 + 32, np.float32)
+        out.logical_size = 1024
+        rt.launch(oob_store, 8, 128, out, 1024)
+        text = san.report().render()
+        assert "memcheck" in text and "8 finding(s)" in text
+
+    def test_dedup_across_relaunch(self):
+        san, rt = _memcheck_rt()
+        out = rt.malloc(1024 + 32, np.float32)
+        out.logical_size = 1024
+        rt.launch(oob_store, 8, 128, out, 1024)
+        rt.launch(oob_store, 8, 128, out, 1024)
+        assert len(san.report().findings) == 8  # identical findings deduped

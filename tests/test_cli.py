@@ -58,3 +58,66 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestDoctorCommand:
+    def test_critical_findings_exit_nonzero(self, capsys):
+        rc = main(["doctor", "CoMem"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "uncoalesced-access" in out
+
+    def test_clean_benchmark_exits_zero(self, capsys):
+        rc = main(["doctor", "MemAlign", "-p", "n=65536"])
+        assert rc == 0
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["doctor", "NoSuchBench"]) == 2
+
+
+class TestSanitizeCommand:
+    def test_buggy_demo_exits_nonzero(self, capsys):
+        rc = main(["sanitize", "oob-write", "--tool", "memcheck"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "global-oob-write" in out
+        assert "block (" in out and "thread (" in out
+
+    def test_clean_demo_exits_zero(self, capsys):
+        rc = main(["sanitize", "clean", "--tool", "all"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no issues detected" in out
+
+    def test_benchmark_under_all_tools(self, capsys):
+        rc = main(["sanitize", "MemAlign", "--tool", "all", "-p", "n=65536"])
+        assert rc == 0  # leak warnings are not critical
+
+    def test_race_demo_caught_by_racecheck(self, capsys):
+        rc = main(["sanitize", "shared-race", "--tool", "racecheck"])
+        assert rc == 1
+        assert "racecheck" in capsys.readouterr().out
+
+    def test_divergent_barrier_caught_by_synccheck(self, capsys):
+        rc = main(["sanitize", "divergent-barrier", "--tool", "synccheck"])
+        assert rc == 1
+        assert "divergent-barrier" in capsys.readouterr().out
+
+    def test_injected_abort_reports_and_exits_2(self, capsys):
+        rc = main(["sanitize", "clean", "--fault-seed", "0", "--abort-at", "0"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "injected fault" in captured.err
+        assert "kernel-abort" in captured.out  # fault log still printed
+
+    def test_transfer_faults_recover_with_cap(self, capsys):
+        rc = main(
+            ["sanitize", "clean", "--fault-seed", "3",
+             "--h2d-fail-prob", "1.0", "--max-transfer-failures", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "h2d-fail" in out and "h2d-recovered" in out
+
+    def test_unknown_demo_or_benchmark(self, capsys):
+        assert main(["sanitize", "no-such-target"]) == 2

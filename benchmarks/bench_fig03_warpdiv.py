@@ -26,6 +26,12 @@ def test_fig03_warpdiv(benchmark):
         f"{res.metrics['nowd_warp_execution_efficiency']:.1%} "
         f"(paper: 85.71% vs 100%)",
         f"headline: {res.speedup:.3f}x (paper: 1.1x average)",
+        data={
+            "schema": "repro-prof-bench/1",
+            "sweep": sweep.as_dict(),
+            "speedups": speedups,
+            "headline": res.as_dict(),
+        },
     )
     assert res.verified
     assert all(s > 1.0 for s in speedups)

@@ -26,6 +26,12 @@ def test_fig09_comem(benchmark):
         f"load efficiency: block {res.metrics['block_gld_efficiency']:.0%} "
         f"vs cyclic {res.metrics['cyclic_gld_efficiency']:.0%}",
         f"headline at 2^22: {res.speedup:.1f}x (paper: ~18x)",
+        data={
+            "schema": "repro-prof-bench/1",
+            "sweep": sweep.as_dict(),
+            "speedups": speedups,
+            "headline": res.as_dict(),
+        },
     )
     assert res.verified
     assert res.speedup > 8.0

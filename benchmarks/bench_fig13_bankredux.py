@@ -25,6 +25,12 @@ def test_fig13_bankredux(benchmark):
         f"{res.metrics['bc_shared_efficiency']:.0%} vs sequential "
         f"{res.metrics['seq_shared_efficiency']:.0%}",
         f"headline: {res.speedup:.2f}x (paper: ~1.3x average)",
+        data={
+            "schema": "repro-prof-bench/1",
+            "sweep": sweep.as_dict(),
+            "speedups": speedups,
+            "headline": res.as_dict(),
+        },
     )
     assert res.verified
     assert all(s > 1.0 for s in speedups)

@@ -23,7 +23,12 @@ def test_table1(benchmark):
     lines = [report.render(), ""]
     lines.append("per-benchmark detail:")
     lines.extend(f"  {r}" for r in report.results)
-    emit("table1_summary", "\n".join(lines))
+    emit(
+        "table1_summary",
+        "\n".join(lines),
+        data=report.as_dict(),
+        root_name="BENCH_table1.json",
+    )
     assert report.all_verified
     # representative member for the timed harness
     one_shot(benchmark, lambda: run_suite(

@@ -11,19 +11,38 @@ the harness's own wall-clock cost.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
-__all__ = ["emit", "RESULTS_DIR", "one_shot"]
+__all__ = ["emit", "RESULTS_DIR", "REPO_ROOT", "one_shot"]
 
 
-def emit(tag: str, *blocks: str) -> str:
-    """Print and persist a figure/table reproduction block."""
+def emit(
+    tag: str,
+    *blocks: str,
+    data: dict[str, Any] | None = None,
+    root_name: str | None = None,
+) -> str:
+    """Print and persist a figure/table reproduction block.
+
+    ``data`` additionally writes a machine-readable document through the
+    :mod:`repro.prof.metrics` exporter to ``results/<tag>.json`` (and,
+    when ``root_name`` is given, to that filename at the repo root),
+    so figure/table numbers are diffable without re-parsing text.
+    """
     text = "\n\n".join(str(b).rstrip() for b in blocks if str(b).strip())
     banner = f"\n{'=' * 74}\n{tag}\n{'=' * 74}\n{text}\n"
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{tag}.txt").write_text(text + "\n")
+    if data is not None:
+        from repro.prof.metrics import write_metrics
+
+        write_metrics(RESULTS_DIR / f"{tag}.json", data)
+        if root_name is not None:
+            write_metrics(REPO_ROOT / root_name, data)
     return text
 
 

@@ -11,15 +11,22 @@ Usage examples::
     python -m repro sanitize MemAlign --tool all
     python -m repro sanitize oob-write --tool memcheck
     python -m repro sanitize MemAlign --fault-seed 3 --h2d-fail-prob 0.5
+    python -m repro profile WarpDivRedux --trace trace.json
+    python -m repro run CoMem --trace trace.json --json metrics.json
+    python -m repro prof diff before.json after.json
+    python -m repro prof roofline metrics.json
 
 Exit codes: ``doctor`` and ``sanitize`` exit 1 when any critical
-finding is reported, 2 on a runtime error, 0 otherwise.
+finding is reported, ``prof diff`` exits 1 when a metric regresses
+beyond its threshold; every command exits 2 on a runtime error and 0
+otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Any
 
 from repro.arch.presets import get_system, list_gpus
@@ -69,10 +76,44 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0 if report.all_verified else 1
 
 
+def _profiled(args: argparse.Namespace):
+    """Context manager for commands with ``--trace``/``--json``/``--ndjson``:
+    a profiling session when any export was requested, a no-op otherwise."""
+    from contextlib import nullcontext
+
+    if getattr(args, "trace", None) or getattr(args, "json", None) or getattr(
+        args, "ndjson", None
+    ):
+        from repro.prof import profile_session
+
+        return profile_session()
+    return nullcontext(None)
+
+
+def _export_profile(prof, args: argparse.Namespace, benchmark: str, params) -> None:
+    """Write whichever of --trace/--json/--ndjson were requested."""
+    if prof is None:
+        return
+    if getattr(args, "trace", None):
+        path = prof.write_chrome_trace(args.trace)
+        print(f"chrome trace written to {path}")
+    if getattr(args, "ndjson", None):
+        path = prof.write_ndjson(args.ndjson)
+        print(f"ndjson log written to {path}")
+    if getattr(args, "json", None):
+        from repro.prof import write_metrics
+
+        doc = prof.metrics(benchmark=benchmark, params=params)
+        path = write_metrics(args.json, doc)
+        print(f"metrics written to {path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     system = get_system(args.system) if args.system else None
     bench = get_benchmark(args.benchmark, system)
-    result = bench.run(**_parse_params(args.param))
+    params = _parse_params(args.param)
+    with _profiled(args) as prof:
+        result = bench.run(**params)
     print(result)
     if result.metrics:
         print("metrics:")
@@ -80,6 +121,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  {k}: {v:.6g}")
     if result.notes:
         print(result.notes)
+    _export_profile(prof, args, args.benchmark, params)
     return 0 if result.verified else 1
 
 
@@ -89,8 +131,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     values = (
         [int(v, 0) for v in args.values.split(",")] if args.values else None
     )
-    sweep = bench.sweep(values, **_parse_params(args.param))
+    params = _parse_params(args.param)
+    with _profiled(args) as prof:
+        sweep = bench.sweep(values, **params)
     print(sweep.render())
+    _export_profile(prof, args, args.benchmark, params)
     return 0
 
 
@@ -124,23 +169,26 @@ def cmd_specs(_args: argparse.Namespace) -> int:
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Run a benchmark and print the performance doctor's findings.
 
-    Exits 1 if any finding is critical — usable as a CI gate.
+    The run is profiled, its metrics document is built, and the doctor
+    rules run over the *exported* per-kernel blocks — the same path an
+    external tool would take over a saved metrics JSON.  Exits 1 if any
+    finding is critical — usable as a CI gate.
     """
-    from repro.host.doctor import diagnose
-    from repro.sanitize.session import sanitize_session
+    from repro.host.doctor import diagnose_metrics
+    from repro.prof import collect_metrics, merge_metrics, profile_session
 
     system = get_system(args.system) if args.system else None
     bench = get_benchmark(args.benchmark, system)
-    with sanitize_session() as session:
+    with profile_session() as prof:
         bench.run(**_parse_params(args.param))
+    docs = [
+        collect_metrics(rt, benchmark=args.benchmark) for rt in prof.runtimes
+    ]
     findings = []
-    seen: set[str] = set()
-    for rt in session.runtimes:
-        for stats, _ in rt.kernel_log:
-            if stats.name in seen:
-                continue
-            seen.add(stats.name)
-            findings.extend(diagnose(stats, rt.gpu))
+    if docs:
+        doc = merge_metrics(docs)
+        for name, entry in doc["kernels"].items():
+            findings.extend(diagnose_metrics(entry, doc["gpu"]))
     if not findings:
         print(f"{args.benchmark}: no findings")
         return 0
@@ -148,6 +196,107 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     for f in findings:
         print(f"  {f}")
     return 1 if any(f.severity == "critical" for f in findings) else 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a benchmark under the profiler and export its activity.
+
+    Writes the per-benchmark metrics JSON (default:
+    ``benchmarks/results/PROF_<benchmark>.json``) plus any requested
+    Chrome trace / NDJSON log, and prints the roofline classification.
+    """
+    from repro.prof import profile_session, render_roofline, write_metrics
+    from repro.prof.roofline import classify_kernel
+    from repro.timing.model import estimate_kernel_time
+
+    system = get_system(args.system) if args.system else None
+    bench = get_benchmark(args.benchmark, system)
+    params = _parse_params(args.param)
+    with profile_session() as prof:
+        result = bench.run(**params)
+    print(result)
+
+    doc = prof.metrics(benchmark=args.benchmark, params=params)
+    out = Path(args.json) if args.json else (
+        Path("benchmarks/results") / f"PROF_{args.benchmark}.json"
+    )
+    path = write_metrics(out, doc)
+    print(f"metrics written to {path}")
+    if args.trace:
+        print(f"chrome trace written to {prof.write_chrome_trace(args.trace)}")
+    if args.ndjson:
+        print(f"ndjson log written to {prof.write_ndjson(args.ndjson)}")
+
+    points = []
+    for rt in prof.runtimes:
+        seen = set()
+        for stats, _ in rt.kernel_log:
+            if stats.name in seen:
+                continue
+            seen.add(stats.name)
+            timing = estimate_kernel_time(stats, rt.gpu, launch_kind="none")
+            points.append(classify_kernel(
+                stats,
+                rt.gpu,
+                exec_s=timing.exec_s,
+                dram_bytes=timing.traffic.dram_bytes if timing.traffic else None,
+            ))
+    if points:
+        print()
+        print(render_roofline(points, title=f"roofline: {args.benchmark}"))
+    n_kernels = len(doc["kernels"])
+    n_records = len(prof.records)
+    print(f"\n{n_kernels} kernel(s), {n_records} activity record(s) collected")
+    return 0
+
+
+def cmd_prof_diff(args: argparse.Namespace) -> int:
+    """Compare two metrics documents; exit 1 on regression."""
+    from repro.prof import diff_metrics, load_metrics
+
+    before = load_metrics(args.before)
+    after = load_metrics(args.after)
+    report = diff_metrics(
+        before,
+        after,
+        time_tolerance=args.time_tolerance,
+        metric_tolerance=args.metric_tolerance,
+        before_label=Path(args.before).name,
+        after_label=Path(args.after).name,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_prof_roofline(args: argparse.Namespace) -> int:
+    """Print the roofline table stored in a metrics document."""
+    from repro.prof import load_metrics
+
+    doc = load_metrics(args.metrics)
+    rows = []
+    for name, entry in sorted(doc.get("kernels", {}).items()):
+        roof = entry.get("roofline")
+        if not roof:
+            continue
+        inten = roof["intensity_ops_per_byte"]
+        rows.append([
+            name,
+            "inf" if inten == float("inf") else f"{inten:.3f}",
+            f"{roof['ridge_ops_per_byte']:.3f}",
+            roof["bound"],
+            f"{roof['attained_ops_per_s'] / 1e9:.2f}",
+            f"{roof['roof_ops_per_s'] / 1e9:.2f}",
+            f"{roof['roof_efficiency']:.0%}",
+        ])
+    if not rows:
+        print("no roofline data in document (timing was not included)")
+        return 0
+    print(render_table(
+        ["kernel", "ops/byte", "ridge", "bound", "Gops/s", "roof", "of roof"],
+        rows,
+        title=f"roofline: {doc.get('benchmark') or Path(args.metrics).name}",
+    ))
+    return 0
 
 
 def cmd_sanitize(args: argparse.Namespace) -> int:
@@ -224,12 +373,18 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_specs
     )
 
+    def add_export_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--trace", help="write a Chrome trace-event JSON here")
+        sp.add_argument("--json", help="write the metrics document here")
+        sp.add_argument("--ndjson", help="write an NDJSON activity log here")
+
     run_p = sub.add_parser("run", help="run one microbenchmark")
     run_p.add_argument("benchmark", help="Table I name, e.g. CoMem")
     run_p.add_argument("--system", help="carina | fornax | rtx3080")
     run_p.add_argument(
         "-p", "--param", action="append", default=[], help="key=value run parameter"
     )
+    add_export_flags(run_p)
     run_p.set_defaults(fn=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="regenerate a benchmark's figure sweep")
@@ -239,7 +394,45 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "-p", "--param", action="append", default=[], help="key=value run parameter"
     )
+    add_export_flags(sweep_p)
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    profile_p = sub.add_parser(
+        "profile", help="run one microbenchmark under the profiler"
+    )
+    profile_p.add_argument("benchmark", help="Table I name, e.g. WarpDivRedux")
+    profile_p.add_argument("--system", help="carina | fornax | rtx3080")
+    profile_p.add_argument(
+        "-p", "--param", action="append", default=[], help="key=value run parameter"
+    )
+    add_export_flags(profile_p)
+    profile_p.set_defaults(fn=cmd_profile)
+
+    prof_p = sub.add_parser("prof", help="analyze saved metrics documents")
+    prof_sub = prof_p.add_subparsers(dest="prof_command", required=True)
+    diff_p = prof_sub.add_parser(
+        "diff", help="compare two metrics JSONs; exit 1 on regression"
+    )
+    diff_p.add_argument("before", help="baseline metrics JSON")
+    diff_p.add_argument("after", help="candidate metrics JSON")
+    diff_p.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.10,
+        help="relative time-growth threshold (default 0.10 = +10%%)",
+    )
+    diff_p.add_argument(
+        "--metric-tolerance",
+        type=float,
+        default=0.05,
+        help="absolute efficiency-drop threshold (default 0.05)",
+    )
+    diff_p.set_defaults(fn=cmd_prof_diff)
+    roof_p = prof_sub.add_parser(
+        "roofline", help="print the roofline table of a metrics JSON"
+    )
+    roof_p.add_argument("metrics", help="metrics JSON from `repro profile`")
+    roof_p.set_defaults(fn=cmd_prof_roofline)
 
     doc_p = sub.add_parser(
         "doctor", help="diagnose a benchmark's kernels for performance bugs"

@@ -57,6 +57,21 @@ class BenchResult:
             f"{self.optimized_time:.3e}s -> {self.speedup:.2f}x [{mark}]"
         )
 
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready projection for the metrics exporters."""
+        return {
+            "benchmark": self.benchmark,
+            "system": self.system,
+            "baseline_name": self.baseline_name,
+            "optimized_name": self.optimized_name,
+            "baseline_time_s": self.baseline_time,
+            "optimized_time_s": self.optimized_time,
+            "speedup": self.speedup,
+            "verified": self.verified,
+            "params": dict(self.params),
+            "metrics": dict(self.metrics),
+        }
+
 
 @dataclass
 class SweepResult:
@@ -81,6 +96,16 @@ class SweepResult:
             self.series,
             title=self.title or f"{self.benchmark} on {self.system}",
         )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready projection for the metrics exporters."""
+        return {
+            "benchmark": self.benchmark,
+            "system": self.system,
+            "x_name": self.x_name,
+            "x_values": list(self.x_values),
+            "series": {k: list(v) for k, v in self.series.items()},
+        }
 
 
 class Microbenchmark(abc.ABC):

@@ -28,6 +28,14 @@ class SuiteReport:
     def all_verified(self) -> bool:
         return all(r.verified for r in self.results)
 
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready projection for the metrics exporters."""
+        return {
+            "schema": "repro-prof-bench/1",
+            "all_verified": self.all_verified,
+            "results": [r.as_dict() for r in self.results],
+        }
+
     def render(self) -> str:
         rows = []
         by_name = {r.benchmark: r for r in self.results}

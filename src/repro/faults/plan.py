@@ -48,9 +48,15 @@ class FaultLog:
     """What the runtime actually injected and how it recovered."""
 
     events: list[tuple[str, str]] = field(default_factory=list)
+    #: optional activity hub; each recorded fault is forwarded as a
+    #: driver-phase ``fault`` activity record
+    hub: object = field(default=None, repr=False, compare=False)
 
     def record(self, kind: str, detail: str = "") -> None:
         self.events.append((kind, detail))
+        hub = self.hub
+        if hub is not None and hub.wants("fault"):
+            hub.emit("fault", kind, track="faults", detail=detail)
 
     def count(self, kind: str) -> int:
         return sum(1 for k, _ in self.events if k == kind)

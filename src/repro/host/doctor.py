@@ -1,14 +1,17 @@
 """Performance doctor: detect the paper's inefficiency patterns.
 
 CUDAMicroBench's purpose is to *teach* the fourteen inefficiency
-patterns; this module closes the loop by detecting them automatically
-from a launch's :class:`~repro.simt.stats.KernelStats` — the
-"evaluating tools' capability of detecting memory problems" direction
-of the paper's future work.  Each finding names the matching
+patterns; this module closes the loop by detecting them automatically —
+the "evaluating tools' capability of detecting memory problems"
+direction of the paper's future work.  Each finding names the matching
 microbenchmark, so a flagged kernel points straight at the example
 showing the fix.
 
-Usage::
+The rules run over the *exported* per-kernel metrics block
+(:func:`repro.prof.metrics.kernel_entry`), so anything that can load a
+metrics JSON — the CLI, CI, or an external tool — can re-run the doctor
+without access to raw :class:`~repro.simt.stats.KernelStats`.
+:func:`diagnose` remains the stats-level convenience wrapper::
 
     stats = rt.launch(my_kernel, grid, block, *args)
     for finding in diagnose(stats, rt.gpu):
@@ -18,12 +21,12 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.arch.spec import GPUSpec
 from repro.simt.stats import KernelStats
-from repro.timing.occupancy import compute_occupancy
 
-__all__ = ["Finding", "diagnose", "SEVERITIES"]
+__all__ = ["Finding", "diagnose", "diagnose_metrics", "SEVERITIES"]
 
 SEVERITIES = ("info", "warning", "critical")
 
@@ -45,17 +48,22 @@ def _f(rule, severity, benchmark, message) -> Finding:
     return Finding(rule=rule, severity=severity, benchmark=benchmark, message=message)
 
 
-def diagnose(stats: KernelStats, gpu: GPUSpec) -> list[Finding]:
-    """Inspect one launch's statistics for known inefficiency patterns.
+def diagnose_metrics(entry: dict[str, Any], gpu: dict[str, Any]) -> list[Finding]:
+    """Run every rule over one exported per-kernel metrics block.
 
-    Returns findings ordered most-severe first; an empty list means no
-    pattern fired.
+    ``entry`` is a :func:`repro.prof.metrics.kernel_entry` dict (the
+    per-kernel block of a metrics document); ``gpu`` the document's
+    :func:`repro.prof.metrics.gpu_info` dict.  Returns findings ordered
+    most-severe first; an empty list means no pattern fired.
     """
+    m = entry.get("metrics", {})
+    c = entry.get("counters", {})
     findings: list[Finding] = []
 
     # --- coalescing (CoMem) -------------------------------------------
-    if stats.global_requests:
-        tpr = stats.transactions / stats.global_requests
+    gld_eff = m.get("gld_efficiency", 1.0)
+    if c.get("global_requests"):
+        tpr = m.get("transactions_per_request", 0.0)
         if tpr >= 8:
             findings.append(_f(
                 "uncoalesced-access", "critical", "CoMem",
@@ -67,7 +75,7 @@ def diagnose(stats: KernelStats, gpu: GPUSpec) -> list[Finding]:
                 "uncoalesced-access", "warning", "CoMem",
                 f"{tpr:.1f} transactions per global request",
             ))
-        elif 1.5 <= tpr < 3 and stats.gld_efficiency >= 0.5:
+        elif 1.5 <= tpr < 3 and gld_eff >= 0.5:
             findings.append(_f(
                 "misaligned-access", "info", "MemAlign",
                 f"{tpr:.1f} transactions per request with good sector "
@@ -75,36 +83,38 @@ def diagnose(stats: KernelStats, gpu: GPUSpec) -> list[Finding]:
             ))
 
     # --- sector waste --------------------------------------------------
-    if stats.sectors_requested and stats.gld_efficiency < 0.5:
+    if c.get("sectors_requested") and gld_eff < 0.5:
         findings.append(_f(
             "low-load-efficiency",
-            "critical" if stats.gld_efficiency < 0.25 else "warning",
+            "critical" if gld_eff < 0.25 else "warning",
             "CoMem / MiniTransfer",
-            f"only {stats.gld_efficiency:.0%} of each transferred sector is "
+            f"only {gld_eff:.0%} of each transferred sector is "
             "used; check access pattern and data layout",
         ))
 
     # --- divergence (WarpDivRedux) --------------------------------------
-    if stats.warp_execution_efficiency < 0.9:
-        sev = "warning" if stats.warp_execution_efficiency > 0.6 else "critical"
+    warp_eff = m.get("warp_execution_efficiency", 1.0)
+    if warp_eff < 0.9:
+        sev = "warning" if warp_eff > 0.6 else "critical"
         findings.append(_f(
             "warp-divergence", sev, "WarpDivRedux",
-            f"warp execution efficiency {stats.warp_execution_efficiency:.0%}; "
-            f"{stats.divergent_branches:.0f} of {stats.branches:.0f} branches "
-            "diverged within a warp",
+            f"warp execution efficiency {warp_eff:.0%}; "
+            f"{c.get('divergent_branches', 0):.0f} of "
+            f"{c.get('branches', 0):.0f} branches diverged within a warp",
         ))
 
     # --- bank conflicts (BankRedux) ---------------------------------------
-    if stats.shared_requests and stats.shared_efficiency < 0.9:
-        sev = "warning" if stats.shared_efficiency > 0.5 else "critical"
+    shared_eff = m.get("shared_efficiency", 1.0)
+    if c.get("shared_requests") and shared_eff < 0.9:
+        sev = "warning" if shared_eff > 0.5 else "critical"
         findings.append(_f(
             "shared-bank-conflicts", sev, "BankRedux",
-            f"shared accesses replay {1 / stats.shared_efficiency:.1f}x on "
+            f"shared accesses replay {1 / shared_eff:.1f}x on "
             "average from bank conflicts",
         ))
 
     # --- constant serialization (ReadOnlyMem anti-pattern) ------------------
-    if stats.constant_requests and stats.constant_replays > stats.constant_requests:
+    if c.get("constant_requests") and c.get("constant_replays", 0) > c["constant_requests"]:
         findings.append(_f(
             "constant-scatter", "warning", "ReadOnlyMem",
             "constant-memory reads are not warp-uniform and serialize; "
@@ -112,48 +122,53 @@ def diagnose(stats: KernelStats, gpu: GPUSpec) -> list[Finding]:
         ))
 
     # --- occupancy ---------------------------------------------------------
-    occ = compute_occupancy(
-        gpu,
-        stats.block.size,
-        shared_mem_per_block=stats.shared_mem_per_block,
-        registers_per_thread=stats.registers_per_thread,
-        n_blocks=stats.blocks,
-    )
-    if occ.occupancy < 0.5:
+    occupancy = m.get("achieved_occupancy", 1.0)
+    if occupancy < 0.5:
         findings.append(_f(
             "low-occupancy", "warning", "Conkernels",
-            f"occupancy {occ.occupancy:.0%}, limited by {occ.limiter}; "
+            f"occupancy {occupancy:.0%}, limited by "
+            f"{entry.get('occupancy_limiter', 'unknown')}; "
             "little latency hiding available",
         ))
-    if stats.blocks < gpu.sm_count:
+    sm_count = gpu.get("sm_count", 0)
+    if c.get("blocks", sm_count) < sm_count:
         findings.append(_f(
             "undersized-grid", "info", "Conkernels",
-            f"grid of {stats.blocks} blocks cannot fill {gpu.sm_count} SMs; "
+            f"grid of {c['blocks']:.0f} blocks cannot fill {sm_count} SMs; "
             "consider concurrent kernels or a larger grid",
         ))
 
     # --- barriers (Shuffle) ----------------------------------------------
-    if stats.barriers > 6 and stats.shared_requests:
+    if c.get("barriers", 0) > 6 and c.get("shared_requests"):
         findings.append(_f(
             "barrier-heavy-exchange", "info", "Shuffle",
-            f"{stats.barriers} block barriers around shared-memory traffic; "
-            "warp-level shuffles can replace the intra-warp steps",
+            f"{c['barriers']:.0f} block barriers around shared-memory "
+            "traffic; warp-level shuffles can replace the intra-warp steps",
         ))
 
     # --- Kepler read-only placement (ReadOnlyMem) ----------------------------
-    if not gpu.global_loads_cached_in_l1:
-        global_bytes = stats.trace and sum(
-            r.summary.bytes_requested
-            for r in stats.trace.records
-            if r.space == "global" and not r.is_store
-        )
-        if global_bytes and global_bytes > stats.bytes_requested * 0.5:
+    if not gpu.get("global_loads_cached_in_l1", True):
+        global_read = c.get("global_read_bytes", 0.0)
+        if global_read and global_read > c.get("bytes_requested", 0.0) * 0.5:
             findings.append(_f(
                 "uncached-read-path", "warning", "ReadOnlyMem",
-                f"{gpu.name} does not cache global loads in L1; route "
-                "read-only data through texture/__ldg",
+                f"{gpu.get('name', 'this device')} does not cache global "
+                "loads in L1; route read-only data through texture/__ldg",
             ))
 
     order = {s: i for i, s in enumerate(SEVERITIES[::-1])}
     findings.sort(key=lambda f: order[f.severity])
     return findings
+
+
+def diagnose(stats: KernelStats, gpu: GPUSpec) -> list[Finding]:
+    """Inspect one launch's statistics for known inefficiency patterns.
+
+    Builds the exported metrics block for the launch and delegates to
+    :func:`diagnose_metrics`, so the stats path and the metrics-JSON
+    path share one rule set.
+    """
+    from repro.prof.metrics import gpu_info, kernel_entry
+
+    entry = kernel_entry([(stats, None)], gpu, include_timing=False)
+    return diagnose_metrics(entry, gpu_info(gpu))

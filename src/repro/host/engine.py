@@ -28,6 +28,17 @@ __all__ = ["DeviceEngine"]
 
 _COPY_KINDS = {"h2d": "copy H2D", "d2h": "copy D2H", "d2d": "copy H2D", "migrate": None}
 
+#: Op kind -> activity-record kind for the observability hub.
+_ACTIVITY_KINDS = {
+    "kernel": "kernel",
+    "graph": "kernel",
+    "h2d": "memcpy",
+    "d2h": "memcpy",
+    "d2d": "memcpy",
+    "migrate": "migrate",
+    "delay": "delay",
+}
+
 
 class DeviceEngine:
     """Schedules submitted operations onto the simulated device."""
@@ -44,6 +55,8 @@ class DeviceEngine:
         self.running_kernels = 0
         self.dual_copy = self.gpu.copy_engines >= 2 and self.link.duplex
         self._copy_busy: dict[str, Op | None] = {"h2d": None, "d2h": None}
+        #: optional activity hub; completed ops emit activity records
+        self.hub = None
 
     # ------------------------------------------------------------------
     def register_stream(self, stream: Stream) -> None:
@@ -78,6 +91,16 @@ class DeviceEngine:
             if op.kind == "event_record":
                 assert op.event is not None
                 op.event.done_time = self.now
+            hub = self.hub
+            if hub is not None and hub.wants("event"):
+                hub.emit(
+                    "event",
+                    op.name,
+                    track=op.stream.name,
+                    start=self.now,
+                    end=self.now,
+                    op=op.kind,
+                )
             if op.on_complete:
                 op.on_complete(op)
             return True
@@ -149,6 +172,23 @@ class DeviceEngine:
             lane = op.stream.name
         op.done = True
         self.timeline.add(op.name, op.kind, lane, op.start_time, op.end_time)
+        hub = self.hub
+        if hub is not None:
+            akind = _ACTIVITY_KINDS.get(op.kind)
+            if akind is not None and hub.wants(akind):
+                args: dict = {"stream": op.stream.name}
+                if op.nbytes:
+                    args["nbytes"] = op.nbytes
+                if akind == "kernel":
+                    args["granted_sms"] = op.granted_sms
+                hub.emit(
+                    akind,
+                    op.name,
+                    track=lane,
+                    start=op.start_time,
+                    end=op.end_time,
+                    **args,
+                )
         if op.on_complete:
             op.on_complete(op)
 

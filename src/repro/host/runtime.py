@@ -97,6 +97,7 @@ class CudaLite:
         faults: FaultPlan | None = None,
         watchdog_cycles: float | None = None,
         retry: RetryPolicy | None = None,
+        hub=None,
     ) -> None:
         if system is None:
             from repro.arch.presets import CARINA
@@ -116,6 +117,8 @@ class CudaLite:
                 faults = session.faults
             if watchdog_cycles is None:
                 watchdog_cycles = session.watchdog_cycles
+            if hub is None:
+                hub = session.hub
             session.runtimes.append(self)
         self.sanitizer = self._as_sanitizer(sanitize)
         self.faults = faults
@@ -138,6 +141,20 @@ class CudaLite:
         self._constant_bytes = 0
         self._capture: TaskGraph | None = None
         self.kernel_log: list[tuple[KernelStats, Op]] = []
+        self.hub = None
+        if hub is not None:
+            self.attach_hub(hub)
+
+    def attach_hub(self, hub) -> None:
+        """Wire an :class:`~repro.prof.activity.ActivityHub` into every
+        layer of this runtime: the engine (timed device records), the
+        fault log and sanitizer (driver-phase records), and the launch
+        path (``launch`` + ``counter`` records)."""
+        self.hub = hub
+        self.engine.hub = hub
+        self.fault_log.hub = hub
+        if self.sanitizer is not None:
+            self.sanitizer.hub = hub
 
     @staticmethod
     def _as_sanitizer(sanitize) -> Sanitizer | None:
@@ -512,6 +529,7 @@ class CudaLite:
                 name=name,
                 sanitizer=self.sanitizer,
                 watchdog_cycles=self.watchdog_cycles,
+                hub=self.hub,
             )
         except _STICKY_ERRORS as exc:
             self._poison(exc)
@@ -543,7 +561,40 @@ class CudaLite:
             stream=stream,
             timing_fn=timing_fn,
             sm_demand=self._sm_demand(stats),
+            on_complete=self._counter_emitter(stats),
         )
+
+    def _counter_emitter(self, stats: KernelStats):
+        """Completion hook emitting a per-kernel ``counter`` activity
+        record (the Chrome-trace occupancy/efficiency series).  Returns
+        None when no subscriber wants counters, so unprofiled runs pay
+        nothing at completion time."""
+        hub = self.hub
+        if hub is None or not hub.wants("counter"):
+            return None
+
+        def emit(op: Op) -> None:
+            occ = compute_occupancy(
+                self.gpu,
+                stats.block.size,
+                shared_mem_per_block=stats.shared_mem_per_block,
+                registers_per_thread=stats.registers_per_thread,
+                n_blocks=stats.blocks,
+            )
+            hub.emit(
+                "counter",
+                stats.name,
+                track=op.stream.name,
+                start=op.end_time,
+                end=op.end_time,
+                achieved_occupancy=occ.occupancy,
+                warp_execution_efficiency=stats.warp_execution_efficiency,
+                branch_efficiency=stats.branch_efficiency,
+                gld_efficiency=stats.gld_efficiency,
+                shared_efficiency=stats.shared_efficiency,
+            )
+
+        return emit
 
     def _enqueue_migrations(self, stats: KernelStats, stream: Stream) -> None:
         for addr, (reads, writes) in stats.managed_touched.items():

@@ -46,6 +46,13 @@ class Op:
     done: bool = False                #: completion has been processed
     granted_sms: int = 0
 
+    @property
+    def span(self) -> tuple[float, float] | None:
+        """(start, end) device timestamps once scheduled, else None."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return (self.start_time, self.end_time)
+
     def __post_init__(self) -> None:
         if (self.duration is None) == (self.timing_fn is None):
             if self.kind not in ("event_record", "event_wait"):

@@ -63,6 +63,19 @@ class Timeline:
             seen.setdefault(e.lane, None)
         return list(seen)
 
+    def ordered_lanes(self) -> list[str]:
+        """Distinct lanes in deterministic display order.
+
+        Sorted by each lane's earliest event start, ties broken by lane
+        name — so renders are stable regardless of the order completions
+        were processed in.
+        """
+        first: dict[str, float] = {}
+        for e in self.events:
+            if e.lane not in first or e.start < first[e.lane]:
+                first[e.lane] = e.start
+        return sorted(first, key=lambda lane: (first[lane], lane))
+
     def busy_time(self, lane: str | None = None) -> float:
         """Total busy time, merging overlapping events within a lane."""
         evs = [e for e in self.events if lane is None or e.lane == lane]
@@ -90,11 +103,13 @@ class Timeline:
         Sub-character events render as ``|`` so short operations stay
         visible; the footer shows the total span.
         """
-        t0, t1 = self.span
-        if t1 <= t0:
+        if not self.events:
             return "(empty timeline)"
-        scale = width / (t1 - t0)
-        lanes = self.lanes()
+        t0, t1 = self.span
+        # A degenerate span (only zero-duration events) still renders:
+        # every event collapses to a single `|` marker at the origin.
+        scale = width / (t1 - t0) if t1 > t0 else 0.0
+        lanes = self.ordered_lanes()
         label_w = max(len(s) for s in lanes) + 1
         lines = []
         for lane in lanes:
@@ -121,7 +136,7 @@ class Timeline:
         t0, t1 = self.span
         total = t1 - t0
         out = [f"timeline span: {fmt_time(total)} ({len(self.events)} events)"]
-        for lane in self.lanes():
+        for lane in self.ordered_lanes():
             busy = self.busy_time(lane)
             util = busy / total if total else 0.0
             out.append(f"  {lane}: busy {fmt_time(busy)} ({util:.0%})")

@@ -41,6 +41,17 @@ class BankConflictSummary:
     def mean_degree(self) -> float:
         return self.passes / self.n_warps if self.n_warps else 0.0
 
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready projection for activity payloads and metrics."""
+        return {
+            "n_warps": self.n_warps,
+            "n_active_lanes": self.n_active_lanes,
+            "passes": self.passes,
+            "conflict_extra": self.conflict_extra,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+        }
+
 
 def analyze_shared_access(
     byte_offsets: np.ndarray,

@@ -127,6 +127,19 @@ class LRUCache:
             self.access(int(lid), write=write)
         return self.hits - before
 
+    def snapshot(self) -> dict[str, float]:
+        """Counter rollup for observability exports."""
+        return {
+            "capacity_lines": self.capacity_lines,
+            "ways": self.ways,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lines_dirtied": self.lines_dirtied,
+            "hit_rate": self.hit_rate,
+            "resident_lines": len(self),
+        }
+
     def contains(self, line_id: int) -> bool:
         """Non-mutating presence test (no LRU update, no counters)."""
         if self.capacity_lines == 0:

@@ -60,6 +60,19 @@ class AccessSummary:
     def transactions_per_warp(self) -> float:
         return self.transactions / self.n_warps if self.n_warps else 0.0
 
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready projection for activity payloads and metrics."""
+        return {
+            "n_warps": self.n_warps,
+            "n_active_lanes": self.n_active_lanes,
+            "transactions": self.transactions,
+            "sectors": self.sectors,
+            "bytes_requested": self.bytes_requested,
+            "transactions_per_warp": self.transactions_per_warp,
+            "bus_utilization": self.bus_utilization,
+            "sample_fraction": self.sample_fraction,
+        }
+
     @property
     def bus_utilization(self) -> float:
         """Useful bytes / bytes moved at sector granularity (≤ 1)."""

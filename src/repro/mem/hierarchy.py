@@ -77,6 +77,28 @@ class TrafficReport:
     def l2_hit_rate(self) -> float:
         return self.l2_hits / self.l2_sectors if self.l2_sectors else 0.0
 
+    def as_dict(self) -> dict[str, float | dict[str, float]]:
+        """JSON-ready projection for metrics documents."""
+        return {
+            "bytes_requested": self.bytes_requested,
+            "transactions": self.transactions,
+            "l1_lookups": self.l1_lookups,
+            "l1_hits": self.l1_hits,
+            "l1_hit_rate": self.l1_hit_rate,
+            "l2_sectors": self.l2_sectors,
+            "l2_hits": self.l2_hits,
+            "l2_hit_rate": self.l2_hit_rate,
+            "dram_sectors": self.dram_sectors,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "dram_bytes": self.dram_bytes,
+            "dram_uncached_read_bytes": self.dram_uncached_read_bytes,
+            "tex_lookups": self.tex_lookups,
+            "tex_hits": self.tex_hits,
+            "avg_load_latency_cycles": self.avg_load_latency_cycles,
+            "per_space_bytes": dict(self.per_space),
+        }
+
 
 def _warp_line_lists(
     addrs: np.ndarray, mask: np.ndarray, itemsize: int, line_bytes: int

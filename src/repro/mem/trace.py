@@ -114,5 +114,31 @@ class AccessTrace:
         self.records.append(rec)
         return rec
 
+    def space_rollup(self) -> dict[str, dict[str, float]]:
+        """Per-space byte/transaction totals across the trace.
+
+        Returns ``{space: {read_bytes, write_bytes, transactions,
+        sectors, accesses}}`` — the aggregate view exporters and the
+        doctor's read-only-placement rule consume.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for rec in self.records:
+            bucket = out.setdefault(
+                rec.space,
+                {
+                    "read_bytes": 0.0,
+                    "write_bytes": 0.0,
+                    "transactions": 0.0,
+                    "sectors": 0.0,
+                    "accesses": 0.0,
+                },
+            )
+            key = "write_bytes" if rec.is_store else "read_bytes"
+            bucket[key] += rec.summary.bytes_requested
+            bucket["transactions"] += rec.summary.transactions
+            bucket["sectors"] += rec.summary.sectors
+            bucket["accesses"] += 1.0
+        return out
+
     def __len__(self) -> int:
         return len(self.records)

@@ -1,0 +1,188 @@
+"""Run-to-run performance diffing of metrics documents.
+
+``repro prof diff before.json after.json`` loads two documents produced
+by :mod:`repro.prof.metrics` and reports per-kernel deltas.  Two
+threshold families decide what counts as a regression:
+
+* **time** — a kernel's average time growing by more than
+  ``time_tolerance`` (relative, default 10%);
+* **metric** — a higher-is-better metric (the efficiency/occupancy
+  set) dropping by more than ``metric_tolerance`` (absolute, default
+  0.05), or transactions-per-request growing by more than the relative
+  time tolerance.
+
+The report's :attr:`DiffReport.ok` drives the CLI exit code, making the
+diff usable as a CI perf gate over committed baseline JSONs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.tables import render_table
+
+__all__ = [
+    "DiffEntry",
+    "DiffReport",
+    "diff_metrics",
+    "DEFAULT_TIME_TOLERANCE",
+    "DEFAULT_METRIC_TOLERANCE",
+]
+
+DEFAULT_TIME_TOLERANCE = 0.10
+DEFAULT_METRIC_TOLERANCE = 0.05
+
+#: metric keys where bigger is better (absolute-drop thresholding)
+HIGHER_IS_BETTER = (
+    "warp_execution_efficiency",
+    "branch_efficiency",
+    "gld_efficiency",
+    "shared_efficiency",
+    "achieved_occupancy",
+)
+#: metric keys where smaller is better (relative-growth thresholding)
+LOWER_IS_BETTER = ("transactions_per_request",)
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared quantity of one kernel."""
+
+    kernel: str
+    quantity: str
+    before: float
+    after: float
+    regressed: bool
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def rel_delta(self) -> float:
+        return self.delta / self.before if self.before else float("inf")
+
+    def __str__(self) -> str:
+        flag = "  << REGRESSED" if self.regressed else ""
+        return (
+            f"{self.kernel}.{self.quantity}: {self.before:.6g} -> "
+            f"{self.after:.6g} ({self.delta:+.6g}){flag}"
+        )
+
+
+@dataclass
+class DiffReport:
+    """Every comparison between two metrics documents."""
+
+    before_label: str
+    after_label: str
+    time_tolerance: float
+    metric_tolerance: float
+    entries: list[DiffEntry] = field(default_factory=list)
+    added_kernels: list[str] = field(default_factory=list)
+    removed_kernels: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def changed(self, eps: float = 1e-12) -> list[DiffEntry]:
+        return [e for e in self.entries if abs(e.delta) > eps]
+
+    def render(self) -> str:
+        rows = []
+        for e in sorted(
+            self.changed(), key=lambda e: (not e.regressed, e.kernel, e.quantity)
+        ):
+            rows.append(
+                [
+                    e.kernel,
+                    e.quantity,
+                    f"{e.before:.6g}",
+                    f"{e.after:.6g}",
+                    f"{e.rel_delta:+.1%}" if e.before else "new",
+                    "REGRESSED" if e.regressed else "",
+                ]
+            )
+        lines = [
+            render_table(
+                ["kernel", "quantity", "before", "after", "delta", ""],
+                rows,
+                title=(
+                    f"prof diff: {self.before_label} -> {self.after_label} "
+                    f"(time tol {self.time_tolerance:.0%}, "
+                    f"metric tol {self.metric_tolerance:.2f})"
+                ),
+            )
+        ]
+        if not rows:
+            lines.append("no per-kernel changes")
+        if self.added_kernels:
+            lines.append(f"kernels only in after: {', '.join(self.added_kernels)}")
+        if self.removed_kernels:
+            lines.append(f"kernels only in before: {', '.join(self.removed_kernels)}")
+        n = len(self.regressions)
+        lines.append(
+            "verdict: OK" if self.ok else f"verdict: {n} regression(s) beyond threshold"
+        )
+        return "\n".join(lines)
+
+
+def _kernel_diffs(
+    name: str,
+    before: dict[str, Any],
+    after: dict[str, Any],
+    time_tol: float,
+    metric_tol: float,
+) -> list[DiffEntry]:
+    out: list[DiffEntry] = []
+
+    t0 = float(before.get("time_avg_s", 0.0))
+    t1 = float(after.get("time_avg_s", 0.0))
+    regressed = t0 > 0 and t1 > t0 * (1.0 + time_tol)
+    out.append(DiffEntry(name, "time_avg_s", t0, t1, regressed))
+
+    m0 = before.get("metrics", {})
+    m1 = after.get("metrics", {})
+    for key in sorted(set(m0) & set(m1)):
+        v0, v1 = float(m0[key]), float(m1[key])
+        if key in HIGHER_IS_BETTER:
+            regressed = v1 < v0 - metric_tol
+        elif key in LOWER_IS_BETTER:
+            regressed = v0 > 0 and v1 > v0 * (1.0 + time_tol)
+        else:
+            regressed = False
+        out.append(DiffEntry(name, key, v0, v1, regressed))
+    return out
+
+
+def diff_metrics(
+    before: dict[str, Any],
+    after: dict[str, Any],
+    *,
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+    metric_tolerance: float = DEFAULT_METRIC_TOLERANCE,
+    before_label: str = "before",
+    after_label: str = "after",
+) -> DiffReport:
+    """Compare two metrics documents kernel by kernel."""
+    report = DiffReport(
+        before_label=before_label,
+        after_label=after_label,
+        time_tolerance=time_tolerance,
+        metric_tolerance=metric_tolerance,
+    )
+    k0 = before.get("kernels", {})
+    k1 = after.get("kernels", {})
+    report.removed_kernels = sorted(set(k0) - set(k1))
+    report.added_kernels = sorted(set(k1) - set(k0))
+    for name in sorted(set(k0) & set(k1)):
+        report.entries.extend(
+            _kernel_diffs(name, k0[name], k1[name], time_tolerance, metric_tolerance)
+        )
+    return report

@@ -1,0 +1,205 @@
+"""Machine-readable per-benchmark metrics: build, write, load, merge.
+
+The exporter behind ``repro profile`` and the benchmark harness: one
+JSON document per run, with a schema marker, the architecture the run
+was resolved against, and a per-kernel block combining
+
+* the nvprof-style metric set (:func:`repro.host.profiler.kernel_metrics`),
+* the raw microarchitectural counters (:meth:`KernelStats.counters`),
+* the resolved memory-hierarchy traffic and timing-model bounds, and
+* the roofline classification.
+
+``repro prof diff`` consumes two of these documents; the performance
+doctor consumes the per-kernel entries directly instead of re-deriving
+metrics from raw stats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.arch.spec import GPUSpec
+from repro.common.errors import ReproError
+from repro.host.profiler import kernel_metrics
+from repro.prof.roofline import classify_kernel, peak_lane_ops
+from repro.simt.stats import KernelStats
+from repro.timing.model import estimate_kernel_time
+from repro.timing.occupancy import compute_occupancy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.host.runtime import CudaLite
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "gpu_info",
+    "kernel_entry",
+    "collect_metrics",
+    "merge_metrics",
+    "write_metrics",
+    "load_metrics",
+]
+
+METRICS_SCHEMA = "repro-prof-metrics/1"
+
+
+def gpu_info(gpu: GPUSpec) -> dict[str, Any]:
+    """The architecture context a metrics document is resolved against."""
+    return {
+        "name": gpu.name,
+        "compute_capability": list(gpu.compute_capability),
+        "sm_count": gpu.sm_count,
+        "clock_hz": gpu.clock_hz,
+        "dram_bandwidth_bytes_per_s": gpu.dram_bandwidth,
+        "peak_fp32_flops": gpu.peak_fp32_flops,
+        "peak_lane_ops_per_s": peak_lane_ops(gpu),
+        "global_loads_cached_in_l1": gpu.global_loads_cached_in_l1,
+        "l1_size": gpu.l1_size,
+        "l2_size": gpu.l2_size,
+    }
+
+
+def kernel_entry(
+    entries: Sequence[tuple[KernelStats, Any]],
+    gpu: GPUSpec,
+    *,
+    include_timing: bool = True,
+) -> dict[str, Any]:
+    """Build one kernel's metrics block from its launch-log entries.
+
+    ``entries`` is a non-empty list of ``(stats, op)`` pairs as logged
+    by :class:`~repro.host.runtime.CudaLite`; ``op`` may be None when a
+    caller only has statistics (the doctor's path).  Metrics are taken
+    from the first launch, times aggregated over all of them.
+    """
+    if not entries:
+        raise ReproError("kernel_entry needs at least one launch")
+    stats = entries[0][0]
+    times = [
+        op.duration
+        for _, op in entries
+        if op is not None and op.duration is not None
+    ]
+    occ = compute_occupancy(
+        gpu,
+        stats.block.size,
+        shared_mem_per_block=stats.shared_mem_per_block,
+        registers_per_thread=stats.registers_per_thread,
+        n_blocks=stats.blocks,
+    )
+    entry: dict[str, Any] = {
+        "calls": len(entries),
+        "time_total_s": float(sum(times)),
+        "time_avg_s": float(sum(times) / len(times)) if times else 0.0,
+        "grid": [stats.grid.x, stats.grid.y, stats.grid.z],
+        "block": [stats.block.x, stats.block.y, stats.block.z],
+        "metrics": kernel_metrics(stats, gpu),
+        "counters": stats.counters(),
+        "occupancy_limiter": occ.limiter,
+    }
+    if include_timing:
+        timing = estimate_kernel_time(stats, gpu, launch_kind="none")
+        entry["bounds_s"] = {k: float(v) for k, v in timing.bounds.items()}
+        entry["limiter"] = timing.limiter
+        if timing.traffic is not None:
+            entry["traffic"] = timing.traffic.as_dict()
+        roof = classify_kernel(
+            stats,
+            gpu,
+            exec_s=timing.exec_s,
+            dram_bytes=timing.traffic.dram_bytes if timing.traffic else None,
+        )
+        entry["roofline"] = roof.as_dict()
+    return entry
+
+
+def collect_metrics(
+    rt: "CudaLite",
+    *,
+    benchmark: str | None = None,
+    params: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Snapshot one runtime's launch log into a metrics document."""
+    groups: dict[str, list] = {}
+    for stats, op in rt.kernel_log:
+        groups.setdefault(stats.name, []).append((stats, op))
+    tl = rt.timeline
+    t0, t1 = tl.span
+    return {
+        "schema": METRICS_SCHEMA,
+        "benchmark": benchmark,
+        "params": dict(params or {}),
+        "system": rt.system.name,
+        "gpu": gpu_info(rt.gpu),
+        "device_time_s": rt.engine.now,
+        "timeline": {
+            "span_s": t1 - t0,
+            "events": len(tl.events),
+            "busy_s_by_lane": {lane: tl.busy_time(lane) for lane in tl.lanes()},
+        },
+        "kernels": {
+            name: kernel_entry(entries, rt.gpu)
+            for name, entries in sorted(groups.items())
+        },
+    }
+
+
+def merge_metrics(docs: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-runtime documents from one logical run.
+
+    Benchmarks construct several runtimes internally (one per variant);
+    a merged document keeps the first document's context and unions the
+    kernel blocks, summing call counts and times for kernels that
+    appear in more than one runtime.
+    """
+    if not docs:
+        raise ReproError("merge_metrics needs at least one document")
+    merged = dict(docs[0])
+    kernels: dict[str, Any] = {}
+    device_time = 0.0
+    events = 0
+    for doc in docs:
+        device_time = max(device_time, doc.get("device_time_s", 0.0))
+        events += doc.get("timeline", {}).get("events", 0)
+        for name, entry in doc.get("kernels", {}).items():
+            if name not in kernels:
+                kernels[name] = dict(entry)
+            else:
+                k = kernels[name]
+                calls = k["calls"] + entry["calls"]
+                k["time_total_s"] = k["time_total_s"] + entry["time_total_s"]
+                k["calls"] = calls
+                k["time_avg_s"] = k["time_total_s"] / calls if calls else 0.0
+    merged["kernels"] = dict(sorted(kernels.items()))
+    merged["device_time_s"] = device_time
+    merged.setdefault("timeline", {})["events"] = events
+    return merged
+
+
+def write_metrics(path: str | Path, doc: dict[str, Any]) -> Path:
+    """Serialize a metrics document (schema stamped if missing)."""
+    doc = {"schema": METRICS_SCHEMA, **doc}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_metrics(path: str | Path) -> dict[str, Any]:
+    """Load and schema-check a metrics document."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ReproError(f"metrics file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or not str(doc.get("schema", "")).startswith(
+        "repro-prof-"
+    ):
+        raise ReproError(
+            f"{path} is not a repro.prof metrics document "
+            f"(schema={doc.get('schema') if isinstance(doc, dict) else None!r})"
+        )
+    return doc

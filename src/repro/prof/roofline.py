@@ -1,0 +1,143 @@
+"""Roofline classification: compute- vs memory-bound per kernel.
+
+The classic roofline model plots attained throughput against arithmetic
+intensity (work per DRAM byte) under two ceilings: the device's peak
+execution rate and the bandwidth-scaled diagonal.  A kernel left of the
+*ridge point* (``peak_ops / peak_bandwidth``) cannot exceed the memory
+roof no matter how it is optimized — CoMem/MemAlign territory — while a
+kernel right of it is bounded by the execution pipes, WarpDivRedux
+territory.
+
+"Work" here is *lane operations* (``KernelStats.thread_instructions``):
+the simulator charges every warp-wide instruction per active lane, so
+lane-ops measure useful issue work the same way FLOPs do for FP-heavy
+kernels, while staying meaningful for integer/branch-heavy ones.  The
+matching peak is ``sm_count * fp32_lanes_per_cycle * clock``, derived
+from the same :class:`~repro.arch.spec.GPUSpec` throughput table the
+timing model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import GPUSpec
+from repro.common.tables import render_table
+from repro.simt.stats import KernelStats
+
+__all__ = ["RooflinePoint", "classify_kernel", "render_roofline", "peak_lane_ops"]
+
+#: Kernels whose memory and compute bounds are within this factor of
+#: each other are classified "balanced" rather than forced to a side.
+_BALANCED_BAND = 1.15
+
+
+def peak_lane_ops(gpu: GPUSpec) -> float:
+    """Peak lane-operations per second (FP32-pipe issue ceiling)."""
+    return gpu.sm_count * gpu.op_throughput["fp32"] * gpu.clock_hz
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position under the roofline."""
+
+    kernel: str
+    ops: float                 #: lane operations executed (grid total)
+    dram_bytes: float          #: post-cache DRAM traffic
+    intensity: float           #: ops per DRAM byte (inf when no traffic)
+    ridge: float               #: ops/byte where the roofs intersect
+    peak_ops: float            #: lane-ops/s ceiling
+    peak_bandwidth: float      #: DRAM bytes/s ceiling
+    attained_ops: float        #: ops / exec seconds
+    roof_ops: float            #: min(peak, intensity * bandwidth)
+    bound: str                 #: "compute" | "memory" | "balanced"
+
+    @property
+    def efficiency(self) -> float:
+        """Attained fraction of the applicable roof (0..1-ish)."""
+        return self.attained_ops / self.roof_ops if self.roof_ops else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "ops": self.ops,
+            "dram_bytes": self.dram_bytes,
+            "intensity_ops_per_byte": self.intensity,
+            "ridge_ops_per_byte": self.ridge,
+            "peak_ops_per_s": self.peak_ops,
+            "peak_bandwidth_bytes_per_s": self.peak_bandwidth,
+            "attained_ops_per_s": self.attained_ops,
+            "roof_ops_per_s": self.roof_ops,
+            "roof_efficiency": self.efficiency,
+            "bound": self.bound,
+        }
+
+
+def classify_kernel(
+    stats: KernelStats,
+    gpu: GPUSpec,
+    *,
+    exec_s: float,
+    dram_bytes: float | None = None,
+) -> RooflinePoint:
+    """Place one launch on the roofline.
+
+    ``dram_bytes`` should come from the memory hierarchy's resolved
+    :class:`~repro.mem.hierarchy.TrafficReport` when available; the
+    fallback is the pre-cache sector traffic, which overstates DRAM
+    bytes for cache-friendly kernels and therefore *understates*
+    intensity (a conservative classification).
+    """
+    ops = float(stats.thread_instructions)
+    if dram_bytes is None:
+        dram_bytes = float(stats.sectors_requested) * gpu.sector_bytes
+    peak = peak_lane_ops(gpu)
+    bw = gpu.dram_bandwidth
+    ridge = peak / bw
+    intensity = ops / dram_bytes if dram_bytes else float("inf")
+    roof = peak if intensity == float("inf") else min(peak, intensity * bw)
+    attained = ops / exec_s if exec_s > 0 else 0.0
+
+    compute_bound_roof = peak
+    memory_bound_roof = intensity * bw if dram_bytes else float("inf")
+    if memory_bound_roof > compute_bound_roof * _BALANCED_BAND:
+        bound = "compute"
+    elif compute_bound_roof > memory_bound_roof * _BALANCED_BAND:
+        bound = "memory"
+    else:
+        bound = "balanced"
+
+    return RooflinePoint(
+        kernel=stats.name,
+        ops=ops,
+        dram_bytes=float(dram_bytes),
+        intensity=intensity,
+        ridge=ridge,
+        peak_ops=peak,
+        peak_bandwidth=bw,
+        attained_ops=attained,
+        roof_ops=roof,
+        bound=bound,
+    )
+
+
+def render_roofline(points: list[RooflinePoint], *, title: str = "roofline") -> str:
+    """A per-kernel roofline summary table."""
+    rows = []
+    for p in sorted(points, key=lambda p: p.kernel):
+        inten = "inf" if p.intensity == float("inf") else f"{p.intensity:.3f}"
+        rows.append(
+            [
+                p.kernel,
+                inten,
+                f"{p.ridge:.3f}",
+                p.bound,
+                f"{p.attained_ops / 1e9:.2f}",
+                f"{p.roof_ops / 1e9:.2f}",
+                f"{p.efficiency:.0%}",
+            ]
+        )
+    return render_table(
+        ["kernel", "ops/byte", "ridge", "bound", "Gops/s", "roof", "of roof"],
+        rows,
+        title=title,
+    )

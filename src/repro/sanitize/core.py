@@ -96,6 +96,9 @@ class Sanitizer:
         self.suppressed = 0
         self._seen: set[tuple] = set()
         self._per_kernel: dict[str, int] = {}
+        #: optional activity hub; each stored finding is forwarded as a
+        #: driver-phase ``sanitizer`` activity record
+        self.hub = None
 
     # ------------------------------------------------------------------
     def enabled(self, tool: str) -> bool:
@@ -142,6 +145,17 @@ class Sanitizer:
                 address=address,
             )
         )
+        hub = self.hub
+        if hub is not None and hub.wants("sanitizer"):
+            hub.emit(
+                "sanitizer",
+                f"{tool}:{rule}",
+                track="sanitizer",
+                severity=severity,
+                kernel=kernel,
+                message=message,
+                address=address,
+            )
         return True
 
     # ==================================================================

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
+    from repro.prof.activity import ActivityHub
     from repro.sanitize.core import Sanitizer
 
 __all__ = ["SanitizeSession", "sanitize_session", "current_session"]
@@ -37,6 +38,8 @@ class SanitizeSession:
     sanitizer: "Sanitizer | None" = None
     faults: "FaultPlan | None" = None
     watchdog_cycles: float | None = None
+    #: activity hub runtimes attach on construction (profiling sessions)
+    hub: "ActivityHub | None" = None
     #: every CudaLite constructed while the session was active
     runtimes: list = field(default_factory=list)
 
@@ -57,6 +60,7 @@ def sanitize_session(
     *,
     faults: "FaultPlan | None" = None,
     watchdog_cycles: float | None = None,
+    hub: "ActivityHub | None" = None,
 ) -> Iterator[SanitizeSession]:
     """Make ``sanitizer``/``faults`` ambient for runtimes created inside.
 
@@ -65,7 +69,10 @@ def sanitize_session(
     ``cudaDeviceReset``-time leak report).
     """
     session = SanitizeSession(
-        sanitizer=sanitizer, faults=faults, watchdog_cycles=watchdog_cycles
+        sanitizer=sanitizer,
+        faults=faults,
+        watchdog_cycles=watchdog_cycles,
+        hub=hub,
     )
     token = _ACTIVE.set(session)
     try:

@@ -78,6 +78,7 @@ def run_kernel(
     max_sim_threads: int = MAX_SIM_THREADS,
     sanitizer=None,
     watchdog_cycles: float | None = None,
+    hub=None,
     _depth: int = 0,
 ) -> KernelStats:
     """Execute one kernel launch and return its statistics.
@@ -89,7 +90,9 @@ def run_kernel(
 
     ``sanitizer`` attaches a :class:`~repro.sanitize.core.Sanitizer` to
     the launch; ``watchdog_cycles`` bounds the kernel's issue cycles
-    (:class:`~repro.common.errors.WatchdogTimeout` past the budget).
+    (:class:`~repro.common.errors.WatchdogTimeout` past the budget);
+    ``hub`` (an :class:`~repro.prof.activity.ActivityHub`) receives a
+    driver-phase ``launch`` record per launch, child launches included.
     """
     if _depth > MAX_NESTING_DEPTH:
         raise LaunchConfigError(
@@ -130,6 +133,17 @@ def run_kernel(
     stats.managed_touched = ctx.managed_touched
     validate_launch(gpu, grid, block, shared_mem_bytes=stats.shared_mem_per_block)
 
+    if hub is not None and hub.wants("launch"):
+        hub.emit(
+            "launch",
+            stats.name,
+            track="driver" if _depth == 0 else "device launches",
+            grid=[grid.x, grid.y, grid.z],
+            block=[block.x, block.y, block.z],
+            threads=total,
+            depth=_depth,
+        )
+
     # dynamic parallelism: run children after the parent, fold stats in
     for child_kdef, cgrid, cblock, cargs in ctx.pending_children:
         child = run_kernel(
@@ -141,6 +155,7 @@ def run_kernel(
             max_sim_threads=max_sim_threads,
             sanitizer=sanitizer,
             watchdog_cycles=watchdog_cycles,
+            hub=hub,
             _depth=_depth + 1,
         )
         stats.merge_child(child)

@@ -113,6 +113,43 @@ class KernelStats:
             return 1.0
         return self.shared_requests / self.shared_passes
 
+    def counters(self) -> dict[str, float]:
+        """The raw counter block exported into metrics documents.
+
+        Plain floats/ints only — everything here serializes to JSON as
+        is.  ``global_read_bytes`` comes from the access trace so the
+        Kepler uncached-read-path doctor rule can run off the exported
+        document alone.
+        """
+        rollup = self.trace.space_rollup() if self.trace else {}
+        return {
+            "blocks": self.blocks,
+            "threads": self.threads,
+            "warps": self.warps,
+            "issue_cycles": self.issue_cycles,
+            "warp_instructions": self.warp_instructions,
+            "thread_instructions": self.thread_instructions,
+            "global_requests": self.global_requests,
+            "transactions": self.transactions,
+            "sectors_requested": self.sectors_requested,
+            "bytes_requested": self.bytes_requested,
+            "global_read_bytes": rollup.get("global", {}).get("read_bytes", 0.0),
+            "constant_requests": self.constant_requests,
+            "constant_replays": self.constant_replays,
+            "shared_requests": self.shared_requests,
+            "shared_passes": self.shared_passes,
+            "bank_conflict_extra": self.bank_conflict_extra,
+            "shared_bytes": self.shared_bytes,
+            "async_copies": self.async_copies,
+            "async_copy_bytes": self.async_copy_bytes,
+            "branches": self.branches,
+            "divergent_branches": self.divergent_branches,
+            "barriers": self.barriers,
+            "shuffles": self.shuffles,
+            "atomics": self.atomics,
+            "device_launches": self.device_launches,
+        }
+
     def merge_child(self, child: "KernelStats") -> None:
         """Fold a device-launched child kernel's counters into this launch.
 

@@ -4,7 +4,23 @@ import numpy as np
 import pytest
 
 from repro.host.profiler import build_report, kernel_metrics
+from repro.simt.dim3 import Dim3
 from repro.simt.kernel import kernel
+from repro.simt.stats import KernelStats
+
+
+def make_stats(name="synthetic", blocks=4, block=256, **overrides):
+    """A hand-built stats record (no launch), for edge-case inputs."""
+    stats = KernelStats(
+        name=name,
+        grid=Dim3(blocks, 1, 1),
+        block=Dim3(block, 1, 1),
+        threads=blocks * block,
+        warps=blocks * block // 32,
+    )
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
 
 
 @kernel
@@ -63,3 +79,70 @@ class TestBuildReport:
     def test_empty_log(self, rt):
         report = build_report([], rt.gpu)
         assert "kernel" in report
+
+    def test_untimed_entries_render_dash_avg(self, rt):
+        # a stats-only entry (op completed without timing info) must not
+        # divide by zero in the avg column
+        report = build_report([(make_stats(), _untimed_op())], rt.gpu)
+        line = [l for l in report.splitlines() if l.startswith("synthetic")][0]
+        assert " - " in f" {line} "
+
+
+class _untimed_op:
+    duration = None
+
+
+class TestMetricEdgeCases:
+    def test_zero_global_requests(self, rt):
+        """A compute-only kernel: no loads/stores, no division by zero."""
+        stats = make_stats(warp_instructions=10.0, thread_instructions=320.0)
+        m = kernel_metrics(stats, rt.gpu)
+        assert m["transactions_per_request"] == 0.0
+        assert m["gld_efficiency"] == 1.0
+        assert m["shared_efficiency"] == 1.0
+
+    def test_zero_warps(self, rt):
+        """Degenerate empty launch: efficiencies default to 1, not NaN."""
+        stats = make_stats(blocks=1, block=32)
+        stats.warps = 0
+        stats.threads = 0
+        m = kernel_metrics(stats, rt.gpu)
+        assert m["warp_execution_efficiency"] == 1.0
+        assert m["branch_efficiency"] == 1.0
+        assert all(v == v for v in m.values())  # no NaN anywhere
+
+    def test_counters_block_json_safe(self):
+        import json
+
+        c = make_stats(transactions=7.0, atomics=3.0).counters()
+        json.dumps(c)
+        assert c["transactions"] == 7.0
+        assert c["global_read_bytes"] == 0.0
+
+
+class TestMergeChild:
+    def test_counters_sum(self):
+        parent = make_stats("parent", global_requests=4.0, transactions=8.0,
+                            thread_instructions=100.0)
+        child = make_stats("child", global_requests=2.0, transactions=2.0,
+                           thread_instructions=50.0, branches=3,
+                           divergent_branches=1)
+        parent.merge_child(child)
+        assert parent.global_requests == 6.0
+        assert parent.transactions == 10.0
+        assert parent.thread_instructions == 150.0
+        assert parent.branches == 3 and parent.divergent_branches == 1
+
+    def test_device_launch_count(self):
+        parent = make_stats("parent")
+        child = make_stats("child", device_launches=2)
+        parent.merge_child(child)
+        # the child itself plus its own nested launches
+        assert parent.device_launches == 3
+
+    def test_metrics_after_merge_still_finite(self, rt):
+        parent = make_stats("parent")
+        parent.merge_child(make_stats("child", global_requests=1.0,
+                                      transactions=32.0))
+        m = kernel_metrics(parent, rt.gpu)
+        assert m["transactions_per_request"] == pytest.approx(32.0)

@@ -81,3 +81,45 @@ class TestRender:
         out = tl.summary()
         assert "3 events" in out
         assert "stream 1" in out
+
+    def test_zero_span_renders_markers(self):
+        # only zero-duration events: span collapses but render must not
+        # divide by zero; each event shows as a marker at the origin
+        t = Timeline()
+        t.add("e1", "event", "s", 1.0, 1.0)
+        t.add("e2", "event", "t", 1.0, 1.0)
+        out = t.render_ascii(40)
+        assert "|" in out
+        assert "s" in out and "t" in out
+
+
+class TestOrderedLanes:
+    def test_sorted_by_first_start(self):
+        t = Timeline()
+        t.add("late", "kernel", "lane B", 5.0, 6.0)
+        t.add("early", "kernel", "lane A", 0.0, 1.0)
+        assert t.lanes() == ["lane B", "lane A"]  # insertion order kept
+        assert t.ordered_lanes() == ["lane A", "lane B"]
+
+    def test_ties_broken_by_name(self):
+        t = Timeline()
+        t.add("b", "kernel", "zeta", 0.0, 1.0)
+        t.add("a", "kernel", "alpha", 0.0, 1.0)
+        assert t.ordered_lanes() == ["alpha", "zeta"]
+
+    def test_earliest_event_wins_not_first_logged(self):
+        t = Timeline()
+        t.add("x1", "kernel", "x", 4.0, 5.0)
+        t.add("y1", "kernel", "y", 2.0, 3.0)
+        t.add("x0", "kernel", "x", 0.0, 1.0)  # retroactively earliest
+        assert t.ordered_lanes() == ["x", "y"]
+
+    def test_render_uses_deterministic_order(self):
+        t = Timeline()
+        t.add("late", "kernel", "lane B", 5.0, 6.0)
+        t.add("early", "kernel", "lane A", 0.0, 1.0)
+        out = t.render_ascii(40)
+        assert out.index("lane A") < out.index("lane B")
+
+    def test_empty(self):
+        assert Timeline().ordered_lanes() == []

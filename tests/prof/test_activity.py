@@ -1,0 +1,89 @@
+"""Activity records, the hub's subscribe/emit gating, and the log."""
+
+import pytest
+
+from repro.prof.activity import KINDS, ActivityHub, ActivityLog, ActivityRecord
+
+
+class TestActivityRecord:
+    def test_timed(self):
+        r = ActivityRecord("kernel", "k", start=1.0, end=2.5)
+        assert r.timed
+        assert r.duration == pytest.approx(1.5)
+
+    def test_driver_phase_untimed(self):
+        r = ActivityRecord("launch", "k")
+        assert not r.timed
+        assert r.duration == 0.0
+
+    def test_frozen(self):
+        r = ActivityRecord("kernel", "k")
+        with pytest.raises(AttributeError):
+            r.name = "other"
+
+
+class TestHubGating:
+    def test_no_subscribers_wants_nothing(self):
+        hub = ActivityHub()
+        assert all(not hub.wants(k) for k in KINDS)
+
+    def test_emit_without_subscriber_returns_none(self):
+        hub = ActivityHub()
+        assert hub.emit("kernel", "k") is None
+
+    def test_subscribe_all(self):
+        hub = ActivityHub()
+        hub.subscribe(lambda r: None)
+        assert all(hub.wants(k) for k in KINDS)
+
+    def test_subscribe_subset(self):
+        hub = ActivityHub()
+        hub.subscribe(lambda r: None, kinds=("kernel", "memcpy"))
+        assert hub.wants("kernel") and hub.wants("memcpy")
+        assert not hub.wants("counter")
+
+    def test_unknown_kind_rejected(self):
+        hub = ActivityHub()
+        with pytest.raises(ValueError, match="unknown activity kind"):
+            hub.subscribe(lambda r: None, kinds=("kernel", "bogus"))
+
+    def test_unsubscribe_restores_gate(self):
+        hub = ActivityHub()
+        sid = hub.subscribe(lambda r: None, kinds=("fault",))
+        assert hub.wants("fault")
+        hub.unsubscribe(sid)
+        assert not hub.wants("fault")
+        assert hub.subscriber_count == 0
+
+
+class TestDispatch:
+    def test_routes_by_kind(self):
+        hub = ActivityHub()
+        kernels, everything = ActivityLog(), ActivityLog()
+        hub.subscribe(kernels, kinds=("kernel",))
+        hub.subscribe(everything)
+        hub.emit("kernel", "k", track="s1", start=0.0, end=1.0)
+        hub.emit("memcpy", "h2d", track="copy", start=1.0, end=2.0, nbytes=64)
+        assert len(kernels) == 1
+        assert len(everything) == 2
+        assert everything.records[1].args["nbytes"] == 64
+
+    def test_seq_monotonic(self):
+        hub = ActivityHub()
+        log = ActivityLog()
+        hub.subscribe(log)
+        for i in range(5):
+            hub.emit("launch", f"k{i}")
+        seqs = [r.seq for r in log.records]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_log_by_kind_and_clear(self):
+        hub = ActivityHub()
+        log = ActivityLog()
+        hub.subscribe(log)
+        hub.emit("kernel", "k", start=0.0, end=1.0)
+        hub.emit("fault", "h2d-fail")
+        assert [r.name for r in log.by_kind("fault")] == ["h2d-fail"]
+        log.clear()
+        assert len(log) == 0

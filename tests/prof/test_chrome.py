@@ -1,0 +1,108 @@
+"""Chrome Trace Event Format conformance of the exporter (spec checks)."""
+
+import json
+
+import pytest
+
+from repro.prof.activity import ActivityHub, ActivityLog
+from repro.prof.chrome import DEVICE_PID, DRIVER_PID, chrome_trace, write_chrome_trace
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+@pytest.fixture
+def records():
+    hub = ActivityHub()
+    log = ActivityLog()
+    hub.subscribe(log)
+    hub.emit("launch", "axpy", track="driver", grid=[4, 1, 1])
+    hub.emit("kernel", "axpy", track="stream 1", start=0.0, end=2e-6, granted_sms=80)
+    hub.emit("memcpy", "h2d", track="copy H2D", start=0.0, end=1e-6, nbytes=4096)
+    hub.emit("kernel", "axpy", track="stream 1", start=2e-6, end=5e-6)
+    hub.emit(
+        "counter", "axpy", track="stream 1", end=2e-6,
+        achieved_occupancy=0.5, gld_efficiency=1.0, note="not-a-number",
+    )
+    hub.emit("sanitizer", "memcheck:global-oob-write", track="sanitizer", severity="critical")
+    return log.records
+
+
+@pytest.fixture
+def doc(records):
+    return chrome_trace(records, device_name="Tesla V100")
+
+
+class TestSpecConformance:
+    def test_every_event_has_required_keys(self, doc):
+        assert len(doc["traceEvents"]) > 0
+        for ev in doc["traceEvents"]:
+            for key in REQUIRED_KEYS:
+                assert key in ev, f"event {ev} missing required key {key!r}"
+
+    def test_phases_are_known(self, doc):
+        assert {ev["ph"] for ev in doc["traceEvents"]} <= {"M", "X", "C", "i"}
+
+    def test_timestamps_monotonic_per_track(self, doc):
+        by_track = {}
+        for ev in doc["traceEvents"]:
+            by_track.setdefault((ev["pid"], ev["tid"]), []).append(ev["ts"])
+        for track, ts in by_track.items():
+            assert ts == sorted(ts), f"track {track} not monotonic: {ts}"
+
+    def test_duration_events_have_nonnegative_dur(self, doc):
+        xs = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert len(xs) == 3
+        assert all(ev["dur"] >= 0 for ev in xs)
+
+    def test_counter_events_carry_numeric_args(self, doc):
+        cs = [ev for ev in doc["traceEvents"] if ev["ph"] == "C"]
+        # one C event per *numeric* metric; the string arg is dropped
+        assert sorted(ev["name"] for ev in cs) == [
+            "achieved_occupancy", "gld_efficiency",
+        ]
+        for ev in cs:
+            assert ev["args"], "counter event must carry an args series"
+            assert all(isinstance(v, (int, float)) for v in ev["args"].values())
+
+    def test_instant_events_on_driver_pid(self, doc):
+        instants = [ev for ev in doc["traceEvents"] if ev["ph"] == "i"]
+        assert len(instants) == 2  # launch + sanitizer finding
+        assert all(ev["pid"] == DRIVER_PID for ev in instants)
+        assert all(ev["s"] == "t" for ev in instants)
+
+    def test_metadata_names_processes_and_tracks(self, doc):
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        procs = {ev["args"]["name"] for ev in meta if ev["name"] == "process_name"}
+        tracks = {ev["args"]["name"] for ev in meta if ev["name"] == "thread_name"}
+        assert procs == {"Tesla V100", "driver"}
+        assert {"stream 1", "copy H2D", "sanitizer"} <= tracks
+
+    def test_timestamps_in_microseconds(self, doc):
+        axpy = [
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "X" and ev["name"] == "axpy"
+        ]
+        assert axpy[0]["ts"] == pytest.approx(0.0)
+        assert axpy[0]["dur"] == pytest.approx(2.0)  # 2e-6 s -> 2 us
+
+    def test_args_json_safe(self, doc):
+        json.dumps(doc)  # must not raise
+
+    def test_device_tids_stable(self, doc):
+        xs = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        tids = {ev["tid"] for ev in xs if ev["pid"] == DEVICE_PID}
+        assert tids == {1, 2}  # stream 1 + copy H2D, numbered by first start
+
+
+class TestWriter:
+    def test_round_trip(self, tmp_path, records):
+        path = write_chrome_trace(tmp_path / "sub" / "t.json", records)
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["generator"] == "repro.prof"
+        assert len(doc["traceEvents"]) > 0
+
+    def test_empty_records_still_valid(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "t.json", [])
+        doc = json.loads(path.read_text())
+        # only the two process_name metadata events
+        assert [ev["ph"] for ev in doc["traceEvents"]] == ["M", "M"]

@@ -1,0 +1,113 @@
+"""Run-to-run diffing: thresholds, direction, and the report verdict."""
+
+import pytest
+
+from repro.prof.diff import DiffReport, diff_metrics
+
+
+def doc(kernels):
+    return {"schema": "repro-prof-metrics/1", "kernels": kernels}
+
+
+def entry(time_avg=1e-3, **metrics):
+    return {"time_avg_s": time_avg, "metrics": metrics}
+
+
+class TestTimeThreshold:
+    def test_within_tolerance_ok(self):
+        r = diff_metrics(
+            doc({"k": entry(time_avg=1e-3)}),
+            doc({"k": entry(time_avg=1.05e-3)}),
+        )
+        assert r.ok
+
+    def test_beyond_tolerance_regresses(self):
+        r = diff_metrics(
+            doc({"k": entry(time_avg=1e-3)}),
+            doc({"k": entry(time_avg=1.2e-3)}),
+        )
+        assert not r.ok
+        assert r.regressions[0].quantity == "time_avg_s"
+
+    def test_custom_tolerance(self):
+        before = doc({"k": entry(time_avg=1e-3)})
+        after = doc({"k": entry(time_avg=1.2e-3)})
+        assert diff_metrics(before, after, time_tolerance=0.5).ok
+
+    def test_improvement_never_regresses(self):
+        r = diff_metrics(
+            doc({"k": entry(time_avg=1e-3)}),
+            doc({"k": entry(time_avg=0.5e-3)}),
+        )
+        assert r.ok
+        assert len(r.changed()) == 1
+
+
+class TestMetricThresholds:
+    def test_efficiency_drop_regresses(self):
+        r = diff_metrics(
+            doc({"k": entry(gld_efficiency=1.0)}),
+            doc({"k": entry(gld_efficiency=0.5)}),
+        )
+        assert not r.ok
+
+    def test_small_efficiency_drop_tolerated(self):
+        r = diff_metrics(
+            doc({"k": entry(warp_execution_efficiency=1.0)}),
+            doc({"k": entry(warp_execution_efficiency=0.97)}),
+        )
+        assert r.ok
+
+    def test_transactions_growth_regresses(self):
+        r = diff_metrics(
+            doc({"k": entry(transactions_per_request=1.0)}),
+            doc({"k": entry(transactions_per_request=8.0)}),
+        )
+        assert not r.ok
+
+    def test_neutral_metric_never_regresses(self):
+        r = diff_metrics(
+            doc({"k": entry(some_other_metric=1.0)}),
+            doc({"k": entry(some_other_metric=99.0)}),
+        )
+        assert r.ok
+        assert len(r.changed()) == 1
+
+
+class TestKernelSets:
+    def test_added_and_removed(self):
+        r = diff_metrics(doc({"a": entry(), "b": entry()}), doc({"b": entry(), "c": entry()}))
+        assert r.added_kernels == ["c"]
+        assert r.removed_kernels == ["a"]
+        assert r.ok  # presence changes alone are not regressions
+
+    def test_identical_docs_no_changes(self):
+        d = doc({"k": entry(gld_efficiency=0.8)})
+        r = diff_metrics(d, d)
+        assert r.ok and not r.changed()
+
+
+class TestRender:
+    def test_report_mentions_regression(self):
+        r = diff_metrics(
+            doc({"k": entry(time_avg=1e-3)}),
+            doc({"k": entry(time_avg=2e-3)}),
+            before_label="base.json",
+            after_label="head.json",
+        )
+        out = r.render()
+        assert "base.json" in out and "head.json" in out
+        assert "REGRESSED" in out
+        assert "1 regression(s)" in out
+
+    def test_clean_report_says_ok(self):
+        d = doc({"k": entry()})
+        out = diff_metrics(d, d).render()
+        assert "verdict: OK" in out
+        assert "no per-kernel changes" in out
+
+    def test_rel_delta_infinite_from_zero(self):
+        r = diff_metrics(doc({"k": entry(time_avg=0.0)}), doc({"k": entry(time_avg=1.0)}))
+        e = r.entries[0]
+        assert e.rel_delta == float("inf")
+        assert isinstance(r, DiffReport)

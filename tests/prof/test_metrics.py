@@ -1,0 +1,120 @@
+"""Metrics documents: collect, merge, write/load, and the NDJSON log."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.prof.metrics import (
+    METRICS_SCHEMA,
+    collect_metrics,
+    load_metrics,
+    merge_metrics,
+    write_metrics,
+)
+from repro.prof.ndjson import read_ndjson, write_ndjson
+from repro.prof.session import Profiler, profile_session
+from repro.simt.kernel import kernel
+
+
+@kernel
+def scale(ctx, x, n):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(x, i, ctx.load(x, i) * 2.0))
+
+
+@pytest.fixture
+def profiled_rt(rt):
+    prof = Profiler()
+    prof.attach(rt)
+    x = rt.to_device(np.ones(1024, dtype=np.float32))
+    rt.launch(scale, 4, 256, x, 1024)
+    rt.launch(scale, 4, 256, x, 1024)
+    rt.synchronize()
+    return rt, prof
+
+
+class TestCollect:
+    def test_document_shape(self, profiled_rt):
+        rt, _ = profiled_rt
+        doc = collect_metrics(rt, benchmark="demo", params={"n": 1024})
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["benchmark"] == "demo"
+        assert doc["gpu"]["name"] == rt.gpu.name
+        entry = doc["kernels"]["scale"]
+        assert entry["calls"] == 2
+        assert entry["time_avg_s"] > 0
+        assert entry["time_total_s"] == pytest.approx(2 * entry["time_avg_s"])
+        assert 0 < entry["metrics"]["warp_execution_efficiency"] <= 1.0
+        assert entry["counters"]["threads"] == 1024
+        assert entry["roofline"]["bound"] in ("compute", "memory", "balanced")
+        assert entry["limiter"] in entry["bounds_s"]
+
+    def test_activity_collected(self, profiled_rt):
+        _, prof = profiled_rt
+        kinds = {r.kind for r in prof.records}
+        assert "kernel" in kinds and "launch" in kinds and "counter" in kinds
+
+    def test_session_collects_internal_runtimes(self):
+        from repro.core.registry import get_benchmark
+
+        with profile_session() as prof:
+            get_benchmark("MemAlign").run(n=1 << 14)
+        assert prof.runtimes, "session should have observed internal runtimes"
+        doc = prof.metrics(benchmark="MemAlign")
+        assert doc["kernels"]
+        assert len(prof.records) > 0
+
+    def test_unprofiled_runtime_emits_nothing(self, rt):
+        # opt-in: no hub attached -> no hub on any producer
+        assert rt.hub is None and rt.engine.hub is None
+
+
+class TestMerge:
+    def test_sums_calls_and_times(self, profiled_rt):
+        rt, _ = profiled_rt
+        doc = collect_metrics(rt)
+        merged = merge_metrics([doc, doc])
+        entry = merged["kernels"]["scale"]
+        assert entry["calls"] == 4
+        assert entry["time_total_s"] == pytest.approx(2 * doc["kernels"]["scale"]["time_total_s"])
+        assert entry["time_avg_s"] == pytest.approx(doc["kernels"]["scale"]["time_avg_s"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            merge_metrics([])
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path, profiled_rt):
+        rt, _ = profiled_rt
+        path = write_metrics(tmp_path / "m.json", collect_metrics(rt))
+        doc = load_metrics(path)
+        assert doc["schema"] == METRICS_SCHEMA
+        assert "scale" in doc["kernels"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_metrics(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_metrics(p)
+
+    def test_wrong_schema(self, tmp_path):
+        p = tmp_path / "other.json"
+        p.write_text('{"schema": "something-else/9"}')
+        with pytest.raises(ReproError, match="not a repro.prof"):
+            load_metrics(p)
+
+
+class TestNdjson:
+    def test_round_trip(self, tmp_path, profiled_rt):
+        _, prof = profiled_rt
+        path = write_ndjson(tmp_path / "log.ndjson", prof.records)
+        rows = read_ndjson(path)
+        assert len(rows) == len(prof.records)
+        assert all({"seq", "kind", "name", "track", "args"} <= set(r) for r in rows)
+        kernel_rows = [r for r in rows if r["kind"] == "kernel"]
+        assert all(r["dur_s"] is not None and r["dur_s"] > 0 for r in kernel_rows)

@@ -1,0 +1,79 @@
+"""Roofline classification: ridge, bound, efficiency, rendering."""
+
+import numpy as np
+import pytest
+
+from repro.prof.roofline import classify_kernel, peak_lane_ops, render_roofline
+from repro.simt.kernel import kernel
+from repro.timing.model import estimate_kernel_time
+
+
+@kernel
+def streaming(ctx, x, n):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(x, i, ctx.load(x, i) + 1.0))
+
+
+@kernel
+def compute_heavy(ctx, x, n):
+    i = ctx.global_thread_id()
+
+    def body():
+        v = ctx.load(x, i)
+        for _ in range(64):
+            v = v * 1.0001 + 0.5
+        ctx.store(x, i, v)
+
+    ctx.if_active(i < n, body)
+
+
+def _classify(rt, kern, n=1 << 16):
+    x = rt.to_device(np.ones(n, dtype=np.float32))
+    stats = rt.launch(kern, n // 256, 256, x, n)
+    rt.synchronize()
+    timing = estimate_kernel_time(stats, rt.gpu, launch_kind="none")
+    dram = timing.traffic.dram_bytes if timing.traffic else None
+    return classify_kernel(stats, rt.gpu, exec_s=timing.exec_s, dram_bytes=dram)
+
+
+class TestClassification:
+    def test_streaming_kernel_memory_bound(self, rt):
+        p = _classify(rt, streaming)
+        assert p.bound == "memory"
+        assert p.intensity < p.ridge
+
+    def test_compute_heavy_kernel_compute_bound(self, rt):
+        p = _classify(rt, compute_heavy)
+        assert p.bound == "compute"
+        assert p.intensity > p.ridge
+
+    def test_efficiency_bounded(self, rt):
+        p = _classify(rt, streaming)
+        assert 0 < p.efficiency <= 1.0 + 1e-9
+
+    def test_ridge_from_gpu_peaks(self, rt):
+        p = _classify(rt, streaming)
+        assert p.peak_ops == pytest.approx(peak_lane_ops(rt.gpu))
+        assert p.ridge == pytest.approx(p.peak_ops / rt.gpu.dram_bandwidth)
+
+    def test_no_traffic_is_infinite_intensity(self, rt):
+        _classify(rt, streaming)  # populates rt.kernel_log
+        stats = rt.kernel_log[-1][0]
+        q = classify_kernel(stats, rt.gpu, exec_s=1e-6, dram_bytes=0.0)
+        assert q.intensity == float("inf")
+        assert q.bound == "compute"
+        assert q.roof_ops == q.peak_ops
+
+    def test_as_dict_keys(self, rt):
+        d = _classify(rt, streaming).as_dict()
+        assert {"bound", "intensity_ops_per_byte", "ridge_ops_per_byte",
+                "roof_efficiency"} <= set(d)
+
+
+class TestRender:
+    def test_table_has_kernels_and_bounds(self, rt):
+        points = [_classify(rt, streaming), _classify(rt, compute_heavy)]
+        out = render_roofline(points, title="demo roofline")
+        assert "demo roofline" in out
+        assert "streaming" in out and "compute_heavy" in out
+        assert "memory" in out and "compute" in out

@@ -75,6 +75,98 @@ class TestDoctorCommand:
         assert main(["doctor", "NoSuchBench"]) == 2
 
 
+class TestProfileCommand:
+    def test_writes_metrics_trace_and_ndjson(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        ndjson = tmp_path / "log.ndjson"
+        rc = main([
+            "profile", "MemAlign", "-p", "n=65536",
+            "--json", str(metrics), "--trace", str(trace), "--ndjson", str(ndjson),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "roofline" in out
+        assert "activity record(s) collected" in out
+
+        import json
+
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "repro-prof-metrics/1"
+        assert doc["kernels"]
+        tdoc = json.loads(trace.read_text())
+        assert len(tdoc["traceEvents"]) > 0
+        assert all(
+            {"name", "ph", "ts", "pid", "tid"} <= set(ev)
+            for ev in tdoc["traceEvents"]
+        )
+        assert ndjson.read_text().strip()
+
+    def test_run_with_export_flags(self, capsys, tmp_path):
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "run", "MemAlign", "-p", "n=65536", "--json", str(metrics),
+        ])
+        assert rc == 0
+        assert metrics.exists()
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["profile", "NoSuchBench"]) == 2
+
+
+class TestProfDiffCommand:
+    @staticmethod
+    def _write(path, time_avg, gld=1.0):
+        import json
+
+        path.write_text(json.dumps({
+            "schema": "repro-prof-metrics/1",
+            "kernels": {"k": {"time_avg_s": time_avg,
+                              "metrics": {"gld_efficiency": gld}}},
+        }))
+
+    def test_no_regression_exits_zero(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, 1e-3)
+        self._write(b, 1e-3)
+        rc = main(["prof", "diff", str(a), str(b)])
+        assert rc == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, 1e-3, gld=1.0)
+        self._write(b, 5e-3, gld=0.3)
+        rc = main(["prof", "diff", str(a), str(b)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSED" in out
+
+    def test_tolerance_flag_waives_regression(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, 1e-3)
+        self._write(b, 1.2e-3)
+        assert main(["prof", "diff", str(a), str(b)]) == 1
+        assert main(["prof", "diff", str(a), str(b), "--time-tolerance", "0.5"]) == 0
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        self._write(a, 1e-3)
+        rc = main(["prof", "diff", str(a), str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_roofline_from_saved_document(self, capsys, tmp_path):
+        metrics = tmp_path / "m.json"
+        rc = main(["profile", "MemAlign", "-p", "n=65536", "--json", str(metrics)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["prof", "roofline", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ops/byte" in out and "bound" in out
+
+
 class TestSanitizeCommand:
     def test_buggy_demo_exits_nonzero(self, capsys):
         rc = main(["sanitize", "oob-write", "--tool", "memcheck"])

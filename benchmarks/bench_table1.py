@@ -5,8 +5,9 @@ paper-faithful default system and prints the measured speedups beside
 the paper's reported column.
 """
 
-from benchmarks.common import emit, one_shot
+from benchmarks.common import emit, one_shot, scheduler_jobs
 from repro.core.suite import run_suite
+from repro.sched import parallel_suite
 
 #: moderately scaled defaults: every benchmark shows its paper direction
 #: while the whole table regenerates in a few minutes.
@@ -19,7 +20,11 @@ OVERRIDES = {
 
 
 def test_table1(benchmark):
-    report = run_suite(overrides=OVERRIDES)
+    jobs = scheduler_jobs()
+    if jobs > 1:
+        report = parallel_suite(OVERRIDES, jobs=jobs)
+    else:
+        report = run_suite(overrides=OVERRIDES)
     lines = [report.render(), ""]
     lines.append("per-benchmark detail:")
     lines.extend(f"  {r}" for r in report.results)

@@ -10,13 +10,27 @@ the harness's own wall-clock cost.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
 
-__all__ = ["emit", "RESULTS_DIR", "REPO_ROOT", "one_shot"]
+__all__ = ["emit", "RESULTS_DIR", "REPO_ROOT", "one_shot", "scheduler_jobs"]
+
+
+def scheduler_jobs(default: int = 1) -> int:
+    """Worker-pool width for the harness (``REPRO_BENCH_JOBS`` env).
+
+    Lets CI regenerate figures through the :mod:`repro.sched` pool
+    without editing every ``bench_*.py``; results are byte-identical to
+    the serial run, so the default stays 1.
+    """
+    try:
+        return max(int(os.environ.get("REPRO_BENCH_JOBS", default)), 1)
+    except ValueError:
+        return default
 
 
 def emit(
@@ -38,8 +52,11 @@ def emit(
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{tag}.txt").write_text(text + "\n")
     if data is not None:
+        from repro.exec import current_backend_name
         from repro.prof.metrics import write_metrics
 
+        # provenance stamp; results themselves are backend-invariant
+        data = {**data, "backend": current_backend_name()}
         write_metrics(RESULTS_DIR / f"{tag}.json", data)
         if root_name is not None:
             write_metrics(REPO_ROOT / root_name, data)

@@ -4,8 +4,10 @@ Usage examples::
 
     python -m repro list
     python -m repro table1
+    python -m repro table1 --jobs 4 --backend fast
     python -m repro run CoMem --system carina -p n=4194304
     python -m repro sweep CoMem --values 262144,1048576,4194304
+    python -m repro sweep CoMem --values 262144,1048576 --jobs 2 --out f9.json
     python -m repro specs
     python -m repro doctor CoMem
     python -m repro sanitize MemAlign --tool all
@@ -55,6 +57,52 @@ def _parse_params(pairs: list[str]) -> dict[str, Any]:
     return out
 
 
+def _backend_scope(args: argparse.Namespace):
+    """Context manager applying ``--backend`` to runtimes created inside."""
+    from contextlib import nullcontext
+
+    backend = getattr(args, "backend", None)
+    if backend:
+        from repro.exec import use_backend
+
+        return use_backend(backend)
+    return nullcontext()
+
+
+def _make_cache(args: argparse.Namespace):
+    from repro.sched import ResultCache
+
+    return ResultCache(args.cache_dir, enabled=not args.no_cache)
+
+
+def _write_sched_stats(
+    args: argparse.Namespace, cache, *, benchmark: str, jobs: int
+) -> None:
+    """Write the ``--stats`` sidecar: backend + cache-hit counters.
+
+    Kept separate from ``--out`` so result documents stay byte-identical
+    across cold/warm and serial/parallel runs while the scheduler's
+    behaviour remains observable.
+    """
+    if not getattr(args, "stats", None):
+        return
+    import json
+
+    from repro.exec import current_backend_name
+
+    doc = {
+        "schema": "repro-prof-sched/1",
+        "benchmark": benchmark,
+        "backend": current_backend_name(getattr(args, "backend", None)),
+        "jobs": jobs,
+        "cache": cache.stats() if cache is not None else None,
+    }
+    path = Path(args.stats)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"scheduler stats written to {path}")
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     rows = [
         [cls.name, cls.category, cls.paper_speedup, cls.default_system.gpu.name]
@@ -71,8 +119,17 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    report = run_suite()
+    cache = None
+    with _backend_scope(args):
+        if args.jobs > 1:
+            from repro.sched import parallel_suite
+
+            cache = _make_cache(args)
+            report = parallel_suite(jobs=args.jobs, cache=cache)
+        else:
+            report = run_suite()
     print(report.render())
+    _write_sched_stats(args, cache, benchmark="table1", jobs=args.jobs)
     return 0 if report.all_verified else 1
 
 
@@ -110,10 +167,11 @@ def _export_profile(prof, args: argparse.Namespace, benchmark: str, params) -> N
 
 def cmd_run(args: argparse.Namespace) -> int:
     system = get_system(args.system) if args.system else None
-    bench = get_benchmark(args.benchmark, system)
     params = _parse_params(args.param)
-    with _profiled(args) as prof:
-        result = bench.run(**params)
+    with _backend_scope(args):
+        bench = get_benchmark(args.benchmark, system)
+        with _profiled(args) as prof:
+            result = bench.run(**params)
     print(result)
     if result.metrics:
         print("metrics:")
@@ -126,15 +184,51 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    system = get_system(args.system) if args.system else None
-    bench = get_benchmark(args.benchmark, system)
     values = (
         [int(v, 0) for v in args.values.split(",")] if args.values else None
     )
     params = _parse_params(args.param)
-    with _profiled(args) as prof:
-        sweep = bench.sweep(values, **params)
+    cache = None
+    if args.jobs > 1:
+        if values is None:
+            raise SystemExit("--jobs needs explicit --values to decompose")
+        if args.trace or args.json or args.ndjson:
+            print(
+                "note: --trace/--json/--ndjson only observe the parent "
+                "process; worker activity is not profiled under --jobs",
+                file=sys.stderr,
+            )
+        from repro.sched import parallel_sweep
+
+        cache = _make_cache(args)
+        sweep = parallel_sweep(
+            args.benchmark,
+            values,
+            params=params,
+            system=args.system,
+            backend=getattr(args, "backend", None),
+            jobs=args.jobs,
+            cache=cache,
+        )
+        prof = None
+    else:
+        system = get_system(args.system) if args.system else None
+        with _backend_scope(args):
+            bench = get_benchmark(args.benchmark, system)
+            with _profiled(args) as prof:
+                sweep = bench.sweep(values, **params)
     print(sweep.render())
+    if args.out:
+        from repro.prof import write_metrics
+
+        doc = {
+            "schema": "repro-prof-bench/1",
+            "benchmark": args.benchmark,
+            "params": params,
+            "sweep": sweep.as_dict(),
+        }
+        print(f"sweep results written to {write_metrics(args.out, doc)}")
+    _write_sched_stats(args, cache, benchmark=args.benchmark, jobs=args.jobs)
     _export_profile(prof, args, args.benchmark, params)
     return 0
 
@@ -210,10 +304,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.timing.model import estimate_kernel_time
 
     system = get_system(args.system) if args.system else None
-    bench = get_benchmark(args.benchmark, system)
     params = _parse_params(args.param)
-    with profile_session() as prof:
-        result = bench.run(**params)
+    with _backend_scope(args):
+        bench = get_benchmark(args.benchmark, system)
+        with profile_session() as prof:
+            result = bench.run(**params)
     print(result)
 
     doc = prof.metrics(benchmark=args.benchmark, params=params)
@@ -363,12 +458,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
+    def add_backend_flag(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--backend",
+            choices=("reference", "fast"),
+            help="memory-analysis execution backend (default: reference, "
+            "or the REPRO_BACKEND environment variable)",
+        )
+
+    def add_sched_flags(sp: argparse.ArgumentParser) -> None:
+        from repro.sched import DEFAULT_CACHE_DIR
+
+        sp.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the sweep scheduler (default 1 = serial)",
+        )
+        sp.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the content-addressed result cache",
+        )
+        sp.add_argument(
+            "--cache-dir",
+            default=DEFAULT_CACHE_DIR,
+            help=f"result-cache directory (default {DEFAULT_CACHE_DIR})",
+        )
+        sp.add_argument(
+            "--stats", help="write scheduler/cache statistics JSON here"
+        )
+
     sub.add_parser("list", help="list the fourteen microbenchmarks").set_defaults(
         fn=cmd_list
     )
-    sub.add_parser(
-        "table1", help="run the full suite and print Table I"
-    ).set_defaults(fn=cmd_table1)
+    table1_p = sub.add_parser("table1", help="run the full suite and print Table I")
+    add_backend_flag(table1_p)
+    add_sched_flags(table1_p)
+    table1_p.set_defaults(fn=cmd_table1)
     sub.add_parser("specs", help="show the preset GPU architectures").set_defaults(
         fn=cmd_specs
     )
@@ -384,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "-p", "--param", action="append", default=[], help="key=value run parameter"
     )
+    add_backend_flag(run_p)
     add_export_flags(run_p)
     run_p.set_defaults(fn=cmd_run)
 
@@ -394,6 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "-p", "--param", action="append", default=[], help="key=value run parameter"
     )
+    sweep_p.add_argument("--out", help="write the sweep result document here")
+    add_backend_flag(sweep_p)
+    add_sched_flags(sweep_p)
     add_export_flags(sweep_p)
     sweep_p.set_defaults(fn=cmd_sweep)
 
@@ -405,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_p.add_argument(
         "-p", "--param", action="append", default=[], help="key=value run parameter"
     )
+    add_backend_flag(profile_p)
     add_export_flags(profile_p)
     profile_p.set_defaults(fn=cmd_profile)
 

@@ -72,6 +72,22 @@ class BenchResult:
             "metrics": dict(self.metrics),
         }
 
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "BenchResult":
+        """Inverse of :meth:`as_dict` (cache replay); exact round-trip —
+        ``speedup`` is recomputed from the same floats."""
+        return cls(
+            benchmark=d["benchmark"],
+            system=d["system"],
+            baseline_name=d["baseline_name"],
+            optimized_name=d["optimized_name"],
+            baseline_time=d["baseline_time_s"],
+            optimized_time=d["optimized_time_s"],
+            verified=d["verified"],
+            params=dict(d.get("params", {})),
+            metrics=dict(d.get("metrics", {})),
+        )
+
 
 @dataclass
 class SweepResult:
@@ -106,6 +122,18 @@ class SweepResult:
             "x_values": list(self.x_values),
             "series": {k: list(v) for k, v in self.series.items()},
         }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any], *, title: str = "") -> "SweepResult":
+        """Inverse of :meth:`as_dict` (cache replay / parallel merge)."""
+        return cls(
+            benchmark=d["benchmark"],
+            system=d["system"],
+            x_name=d["x_name"],
+            x_values=list(d["x_values"]),
+            series={k: list(v) for k, v in d["series"].items()},
+            title=title,
+        )
 
 
 class Microbenchmark(abc.ABC):

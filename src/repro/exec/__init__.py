@@ -1,0 +1,24 @@
+"""Execution backends: reference oracle vs. residue-class fast path."""
+
+from repro.exec.dispatch import (
+    BACKENDS,
+    ExecCounters,
+    FastDispatch,
+    ReferenceDispatch,
+    current_backend_name,
+    make_dispatcher,
+    use_backend,
+)
+from repro.exec.fastpath import analyze_access_fast, analyze_shared_access_fast
+
+__all__ = [
+    "BACKENDS",
+    "ExecCounters",
+    "FastDispatch",
+    "ReferenceDispatch",
+    "current_backend_name",
+    "make_dispatcher",
+    "use_backend",
+    "analyze_access_fast",
+    "analyze_shared_access_fast",
+]

@@ -57,6 +57,8 @@ class DeviceEngine:
         self._copy_busy: dict[str, Op | None] = {"h2d": None, "d2h": None}
         #: optional activity hub; completed ops emit activity records
         self.hub = None
+        #: execution-backend tag of the owning runtime (observability)
+        self.backend = "reference"
 
     # ------------------------------------------------------------------
     def register_stream(self, stream: Stream) -> None:

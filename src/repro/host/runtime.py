@@ -36,6 +36,7 @@ from repro.common.errors import (
     StreamError,
     cuda_error_name,
 )
+from repro.exec.dispatch import current_backend_name, make_dispatcher
 from repro.faults.plan import FaultLog, FaultPlan, RetryPolicy
 from repro.host.engine import DeviceEngine
 from repro.host.graph import ExecGraph, GraphNode, TaskGraph
@@ -82,6 +83,12 @@ class CudaLite:
         Issue-cycle budget per kernel (display-watchdog analog).
     retry:
         Backoff policy for transient transfer faults.
+    backend:
+        Memory-analysis execution backend: ``"reference"`` (the
+        per-lane oracle) or ``"fast"`` (residue-class fast path with
+        identical results; see :mod:`repro.exec`).  Defaults through
+        :func:`repro.exec.use_backend` / ``REPRO_BACKEND`` to
+        ``"reference"``.
 
     Inside a :func:`~repro.sanitize.session.sanitize_session` block, the
     session's sanitizer/faults/watchdog are the defaults for any of
@@ -98,6 +105,7 @@ class CudaLite:
         watchdog_cycles: float | None = None,
         retry: RetryPolicy | None = None,
         hub=None,
+        backend: str | None = None,
     ) -> None:
         if system is None:
             from repro.arch.presets import CARINA
@@ -131,8 +139,14 @@ class CudaLite:
         self._launch_ordinal = 0
         self._op_ordinal = 0
 
+        #: resolved backend name and its per-runtime dispatcher; the
+        #: dispatcher's counters feed the metrics ``execution`` section
+        self.backend = current_backend_name(backend)
+        self.dispatch = make_dispatcher(self.backend)
+
         self.timeline = Timeline()
         self.engine = DeviceEngine(system, self.timeline)
+        self.engine.backend = self.backend
         track_init = self.sanitizer is not None and self.sanitizer.enabled("memcheck")
         self.allocator = DeviceAllocator(self.gpu.dram_size, track_init=track_init)
         self.default_stream = Stream(self, name="default stream")
@@ -530,6 +544,7 @@ class CudaLite:
                 sanitizer=self.sanitizer,
                 watchdog_cycles=self.watchdog_cycles,
                 hub=self.hub,
+                dispatch=self.dispatch,
             )
         except _STICKY_ERRORS as exc:
             self._poison(exc)

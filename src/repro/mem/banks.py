@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.mem.coalesce import lanes_to_warps
 
-__all__ = ["BankConflictSummary", "analyze_shared_access"]
+__all__ = ["BankConflictSummary", "shared_pass_degrees", "analyze_shared_access"]
 
 _SENTINEL = np.iinfo(np.int64).max
 
@@ -53,28 +53,19 @@ class BankConflictSummary:
         }
 
 
-def analyze_shared_access(
-    byte_offsets: np.ndarray,
-    mask: np.ndarray | None,
+def shared_pass_degrees(
+    o2d: np.ndarray,
+    m2d: np.ndarray,
     *,
-    warp_size: int = 32,
     nbanks: int = 32,
     bank_bytes: int = 4,
-) -> BankConflictSummary:
-    """Analyze per-lane byte offsets within a block's shared memory.
+) -> np.ndarray:
+    """Per-warp serialized pass counts for a ``(warps, warp_size)`` access.
 
-    Multi-byte elements are classified by the bank of their first byte,
-    matching the common 4-byte-element case the paper studies; 8-byte
-    elements on real hardware can enable a 64-bit bank mode, which this
-    model conservatively ignores.
+    A conflict-free active warp costs one pass; an *n*-way conflict costs
+    ``n``; inactive rows cost zero.  Shared by the reference analyzer and
+    the fast-path backend, which runs it on residue-class representatives.
     """
-    offsets = np.asarray(byte_offsets, dtype=np.int64)
-    o2d, m2d = lanes_to_warps(offsets, mask, warp_size)
-    n_warps_total = int(m2d.any(axis=1).sum())
-    n_active = int(m2d.sum())
-    if n_warps_total == 0:
-        return BankConflictSummary(0, 0, 0, 0, 0)
-
     # Dead lanes are pushed to a sentinel so they sort to the row end and
     # can never break up a run of identical live words.
     words = np.where(m2d, o2d // bank_bytes, _SENTINEL)
@@ -97,7 +88,32 @@ def analyze_shared_access(
 
     degree = counts.max(axis=1).astype(np.int64)
     active_rows = m2d.any(axis=1)
-    degree = np.where(active_rows, np.maximum(degree, 1), 0)
+    return np.where(active_rows, np.maximum(degree, 1), 0)
+
+
+def analyze_shared_access(
+    byte_offsets: np.ndarray,
+    mask: np.ndarray | None,
+    *,
+    warp_size: int = 32,
+    nbanks: int = 32,
+    bank_bytes: int = 4,
+) -> BankConflictSummary:
+    """Analyze per-lane byte offsets within a block's shared memory.
+
+    Multi-byte elements are classified by the bank of their first byte,
+    matching the common 4-byte-element case the paper studies; 8-byte
+    elements on real hardware can enable a 64-bit bank mode, which this
+    model conservatively ignores.
+    """
+    offsets = np.asarray(byte_offsets, dtype=np.int64)
+    o2d, m2d = lanes_to_warps(offsets, mask, warp_size)
+    n_warps_total = int(m2d.any(axis=1).sum())
+    n_active = int(m2d.sum())
+    if n_warps_total == 0:
+        return BankConflictSummary(0, 0, 0, 0, 0)
+
+    degree = shared_pass_degrees(o2d, m2d, nbanks=nbanks, bank_bytes=bank_bytes)
     passes = int(degree.sum())
     return BankConflictSummary(
         n_warps=n_warps_total,

@@ -28,6 +28,7 @@ __all__ = [
     "AccessSummary",
     "lanes_to_warps",
     "warp_distinct_counts",
+    "segment_distinct_counts",
     "analyze_access",
     "MAX_ANALYZED_WARPS",
 ]
@@ -142,6 +143,29 @@ def warp_distinct_counts(keys2d: np.ndarray, mask2d: np.ndarray) -> np.ndarray:
     return firsts[:, 0] + changed.sum(axis=1, dtype=np.int64)
 
 
+def segment_distinct_counts(
+    a2d: np.ndarray,
+    m2d: np.ndarray,
+    granularity: int,
+    itemsize: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-warp distinct segment counts at one granularity.
+
+    An element whose last byte lands in a different segment than its
+    first counts against both (the misaligned-access inflation of paper
+    §IV-C).  Returns ``(per_warp_counts, keys, keys_mask)`` — the keys
+    are reused by callers that also need whole-access distinct values.
+    """
+    first = a2d // granularity
+    last = (a2d + (itemsize - 1)) // granularity
+    if (first != last).any():
+        keys = np.concatenate([first, last], axis=1)
+        kmask = np.concatenate([m2d, m2d], axis=1)
+    else:
+        keys, kmask = first, m2d
+    return warp_distinct_counts(keys, kmask), keys, kmask
+
+
 def _select_sample(
     n_warps: int, limit: int
 ) -> tuple[slice | np.ndarray, float]:
@@ -191,33 +215,17 @@ def analyze_access(
     a = a2d[sel]
     m = m2d[sel]
 
-    first_seg = a // transaction_bytes
-    last_seg = (a + (itemsize - 1)) // transaction_bytes
-    if (first_seg != last_seg).any():
-        seg_keys = np.concatenate([first_seg, last_seg], axis=1)
-        seg_mask = np.concatenate([m, m], axis=1)
-    else:
-        seg_keys, seg_mask = first_seg, m
-    transactions = float(warp_distinct_counts(seg_keys, seg_mask).sum())
+    seg_counts, _, _ = segment_distinct_counts(a, m, transaction_bytes, itemsize)
+    transactions = float(seg_counts.sum())
 
-    first_sec = a // sector_bytes
-    last_sec = (a + (itemsize - 1)) // sector_bytes
-    if (first_sec != last_sec).any():
-        sec_keys = np.concatenate([first_sec, last_sec], axis=1)
-        sec_mask = np.concatenate([m, m], axis=1)
-    else:
-        sec_keys, sec_mask = first_sec, m
-    sectors = float(warp_distinct_counts(sec_keys, sec_mask).sum())
+    sec_counts, sec_keys, sec_mask = segment_distinct_counts(
+        a, m, sector_bytes, itemsize
+    )
+    sectors = float(sec_counts.sum())
 
     burst_bytes = 2 * sector_bytes
-    first_b = a // burst_bytes
-    last_b = (a + (itemsize - 1)) // burst_bytes
-    if (first_b != last_b).any():
-        b_keys = np.concatenate([first_b, last_b], axis=1)
-        b_mask = np.concatenate([m, m], axis=1)
-    else:
-        b_keys, b_mask = first_b, m
-    bursts = float(warp_distinct_counts(b_keys, b_mask).sum())
+    b_counts, b_keys, b_mask = segment_distinct_counts(a, m, burst_bytes, itemsize)
+    bursts = float(b_counts.sum())
 
     unique_sectors = float(np.unique(sec_keys[sec_mask]).size)
     unique_bursts = float(np.unique(b_keys[b_mask]).size)

@@ -16,12 +16,14 @@ from repro.prof.diff import (
     diff_metrics,
 )
 from repro.prof.metrics import (
+    BENCH_SCHEMA,
     METRICS_SCHEMA,
     collect_metrics,
     gpu_info,
     kernel_entry,
     load_metrics,
     merge_metrics,
+    validate_document,
     write_metrics,
 )
 from repro.prof.ndjson import read_ndjson, write_ndjson
@@ -40,12 +42,14 @@ __all__ = [
     "DiffEntry",
     "DiffReport",
     "diff_metrics",
+    "BENCH_SCHEMA",
     "METRICS_SCHEMA",
     "collect_metrics",
     "gpu_info",
     "kernel_entry",
     "load_metrics",
     "merge_metrics",
+    "validate_document",
     "write_metrics",
     "read_ndjson",
     "write_ndjson",

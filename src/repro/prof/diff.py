@@ -11,6 +11,11 @@ threshold families decide what counts as a regression:
   0.05), or transactions-per-request growing by more than the relative
   time tolerance.
 
+Benchmark-result documents (``repro-prof-bench/1``) diff by benchmark
+instead of by kernel: speedups falling by more than the relative time
+tolerance regress, and benchmarks present in only one document are
+reported as added/removed rather than silently intersected away.
+
 The report's :attr:`DiffReport.ok` drives the CLI exit code, making the
 diff usable as a CI perf gate over committed baseline JSONs.
 """
@@ -82,6 +87,8 @@ class DiffReport:
     entries: list[DiffEntry] = field(default_factory=list)
     added_kernels: list[str] = field(default_factory=list)
     removed_kernels: list[str] = field(default_factory=list)
+    added_benchmarks: list[str] = field(default_factory=list)
+    removed_benchmarks: list[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[DiffEntry]:
@@ -126,6 +133,14 @@ class DiffReport:
             lines.append(f"kernels only in after: {', '.join(self.added_kernels)}")
         if self.removed_kernels:
             lines.append(f"kernels only in before: {', '.join(self.removed_kernels)}")
+        if self.added_benchmarks:
+            lines.append(
+                f"benchmarks only in after: {', '.join(self.added_benchmarks)}"
+            )
+        if self.removed_benchmarks:
+            lines.append(
+                f"benchmarks only in before: {', '.join(self.removed_benchmarks)}"
+            )
         n = len(self.regressions)
         lines.append(
             "verdict: OK" if self.ok else f"verdict: {n} regression(s) beyond threshold"
@@ -161,6 +176,37 @@ def _kernel_diffs(
     return out
 
 
+def _bench_results(doc: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    """Per-benchmark result rows of a bench document, keyed by name."""
+    results = doc.get("results")
+    if not isinstance(results, list):
+        return {}
+    return {
+        str(r["benchmark"]): r
+        for r in results
+        if isinstance(r, dict) and "benchmark" in r
+    }
+
+
+def _bench_diffs(
+    name: str,
+    before: dict[str, Any],
+    after: dict[str, Any],
+    time_tol: float,
+) -> list[DiffEntry]:
+    out: list[DiffEntry] = []
+    s0 = float(before.get("speedup", 0.0))
+    s1 = float(after.get("speedup", 0.0))
+    regressed = s0 > 0 and s1 < s0 * (1.0 - time_tol)
+    out.append(DiffEntry(name, "speedup", s0, s1, regressed))
+    for key in ("baseline_time_s", "optimized_time_s"):
+        if key in before and key in after:
+            t0, t1 = float(before[key]), float(after[key])
+            regressed = t0 > 0 and t1 > t0 * (1.0 + time_tol)
+            out.append(DiffEntry(name, key, t0, t1, regressed))
+    return out
+
+
 def diff_metrics(
     before: dict[str, Any],
     after: dict[str, Any],
@@ -170,7 +216,7 @@ def diff_metrics(
     before_label: str = "before",
     after_label: str = "after",
 ) -> DiffReport:
-    """Compare two metrics documents kernel by kernel."""
+    """Compare two documents kernel by kernel and benchmark by benchmark."""
     report = DiffReport(
         before_label=before_label,
         after_label=after_label,
@@ -185,4 +231,10 @@ def diff_metrics(
         report.entries.extend(
             _kernel_diffs(name, k0[name], k1[name], time_tolerance, metric_tolerance)
         )
+    b0 = _bench_results(before)
+    b1 = _bench_results(after)
+    report.removed_benchmarks = sorted(set(b0) - set(b1))
+    report.added_benchmarks = sorted(set(b1) - set(b0))
+    for name in sorted(set(b0) & set(b1)):
+        report.entries.extend(_bench_diffs(name, b0[name], b1[name], time_tolerance))
     return report

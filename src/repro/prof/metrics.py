@@ -33,15 +33,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "METRICS_SCHEMA",
+    "BENCH_SCHEMA",
     "gpu_info",
     "kernel_entry",
     "collect_metrics",
     "merge_metrics",
     "write_metrics",
     "load_metrics",
+    "validate_document",
 ]
 
 METRICS_SCHEMA = "repro-prof-metrics/1"
+BENCH_SCHEMA = "repro-prof-bench/1"
 
 
 def gpu_info(gpu: GPUSpec) -> dict[str, Any]:
@@ -142,6 +145,13 @@ def collect_metrics(
             name: kernel_entry(entries, rt.gpu)
             for name, entries in sorted(groups.items())
         },
+        # Backend provenance lives OUTSIDE the kernel counters: the
+        # differential suite asserts counter equality across backends,
+        # and these dispatch statistics legitimately differ.
+        "execution": {
+            "backend": rt.backend,
+            **rt.dispatch.counters.as_dict(),
+        },
     }
 
 
@@ -159,9 +169,15 @@ def merge_metrics(docs: Sequence[dict[str, Any]]) -> dict[str, Any]:
     kernels: dict[str, Any] = {}
     device_time = 0.0
     events = 0
+    execution: dict[str, Any] = {}
     for doc in docs:
         device_time = max(device_time, doc.get("device_time_s", 0.0))
         events += doc.get("timeline", {}).get("events", 0)
+        for key, value in doc.get("execution", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                execution[key] = execution.get(key, 0) + value
+            else:
+                execution.setdefault(key, value)
         for name, entry in doc.get("kernels", {}).items():
             if name not in kernels:
                 kernels[name] = dict(entry)
@@ -174,6 +190,8 @@ def merge_metrics(docs: Sequence[dict[str, Any]]) -> dict[str, Any]:
     merged["kernels"] = dict(sorted(kernels.items()))
     merged["device_time_s"] = device_time
     merged.setdefault("timeline", {})["events"] = events
+    if execution:
+        merged["execution"] = execution
     return merged
 
 
@@ -184,6 +202,82 @@ def write_metrics(path: str | Path, doc: dict[str, Any]) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
     return path
+
+
+def validate_document(doc: Any) -> list[str]:
+    """Structural validation of an exported document; [] means valid.
+
+    Knows the two document families: per-kernel metrics
+    (``repro-prof-metrics/1``) and benchmark/suite/sweep results
+    (``repro-prof-bench/1``).  The golden-baseline tests run every
+    committed ``benchmarks/results/*.json`` through this.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, not an object"]
+    schema = doc.get("schema")
+    if schema == METRICS_SCHEMA:
+        kernels = doc.get("kernels")
+        if not isinstance(kernels, dict):
+            problems.append("metrics document has no 'kernels' object")
+        else:
+            for name, entry in kernels.items():
+                for req in ("calls", "metrics", "counters"):
+                    if req not in entry:
+                        problems.append(f"kernel {name!r} missing {req!r}")
+                counters = entry.get("counters")
+                if isinstance(counters, dict):
+                    for key, value in counters.items():
+                        if not isinstance(value, (int, float)):
+                            problems.append(
+                                f"kernel {name!r} counter {key!r} is not numeric"
+                            )
+        if "gpu" in doc and not isinstance(doc["gpu"], dict):
+            problems.append("'gpu' is not an object")
+        execution = doc.get("execution")
+        if execution is not None:
+            if not isinstance(execution, dict) or "backend" not in execution:
+                problems.append("'execution' section missing 'backend'")
+    elif schema == BENCH_SCHEMA:
+        results = doc.get("results")
+        sweep = doc.get("sweep")
+        if results is None and sweep is None:
+            problems.append("bench document has neither 'results' nor 'sweep'")
+        if results is not None:
+            if not isinstance(results, list):
+                problems.append("'results' is not a list")
+            else:
+                for i, r in enumerate(results):
+                    for req in (
+                        "benchmark",
+                        "baseline_time_s",
+                        "optimized_time_s",
+                        "speedup",
+                        "verified",
+                    ):
+                        if req not in r:
+                            problems.append(f"results[{i}] missing {req!r}")
+        if sweep is not None:
+            if not isinstance(sweep, dict):
+                problems.append("'sweep' is not an object")
+            else:
+                for req in ("x_name", "x_values", "series"):
+                    if req not in sweep:
+                        problems.append(f"'sweep' missing {req!r}")
+                series = sweep.get("series")
+                xs = sweep.get("x_values")
+                if isinstance(series, dict) and isinstance(xs, list):
+                    for name, points in series.items():
+                        if len(points) != len(xs):
+                            problems.append(
+                                f"series {name!r} has {len(points)} points "
+                                f"for {len(xs)} x-values"
+                            )
+    elif isinstance(schema, str) and schema.startswith("repro-prof-"):
+        pass  # other families (e.g. scheduler stats) are free-form
+    else:
+        problems.append(f"unknown schema {schema!r}")
+    return problems
 
 
 def load_metrics(path: str | Path) -> dict[str, Any]:

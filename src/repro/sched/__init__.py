@@ -1,0 +1,27 @@
+"""Parallel sweep scheduling and content-addressed result caching."""
+
+from repro.sched.cache import (
+    CACHE_SCHEMA,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    source_fingerprint,
+)
+from repro.sched.runner import (
+    JobSpec,
+    execute_job,
+    parallel_suite,
+    parallel_sweep,
+    run_jobs,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "source_fingerprint",
+    "JobSpec",
+    "execute_job",
+    "parallel_suite",
+    "parallel_sweep",
+    "run_jobs",
+]

@@ -1,0 +1,166 @@
+"""Content-addressed result cache for benchmark jobs.
+
+A cache entry's key is the SHA-256 of everything the result can depend
+on: the *source code* of the benchmark's module and of every module
+defining a :class:`~repro.simt.kernel.KernelDef` it references, the
+fully-resolved :class:`~repro.arch.spec.SystemSpec`, the run
+parameters, the sweep value, and the execution backend.  Editing a
+kernel, switching GPUs, or changing a parameter therefore changes the
+key; re-running an unchanged configuration is a cache hit that replays
+the stored JSON payload — which round-trips floats exactly, so a warm
+run is byte-identical to a cold one.
+
+Entries live under ``.repro-cache/`` (git-ignored) as one JSON file per
+key, written atomically so concurrent sweep workers never observe a
+torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import sys
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.arch.spec import SystemSpec
+
+__all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "ResultCache", "source_fingerprint"]
+
+CACHE_SCHEMA = "repro-sched-cache/1"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: bump to invalidate every existing cache entry (layout changes)
+_KEY_VERSION = 1
+
+_fingerprint_memo: dict[str, str] = {}
+
+
+def source_fingerprint(bench_cls: type) -> str:
+    """SHA-256 over the sources a benchmark's results derive from.
+
+    Covers the benchmark class's own module plus the module of every
+    :class:`KernelDef` reachable from that module's globals (kernels
+    are sometimes defined in shared helper modules).
+    """
+    cached = _fingerprint_memo.get(bench_cls.__module__)
+    if cached is not None:
+        return cached
+    from repro.simt.kernel import KernelDef
+
+    modules = {bench_cls.__module__}
+    mod = sys.modules.get(bench_cls.__module__)
+    if mod is not None:
+        for value in vars(mod).values():
+            if isinstance(value, KernelDef):
+                modules.add(value.func.__module__)
+    digest = hashlib.sha256()
+    for name in sorted(modules):
+        digest.update(name.encode())
+        m = sys.modules.get(name)
+        try:
+            digest.update(inspect.getsource(m).encode())
+        except (TypeError, OSError):
+            digest.update(b"<source unavailable>")
+    out = digest.hexdigest()
+    _fingerprint_memo[bench_cls.__module__] = out
+    return out
+
+
+def _canonical(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+@dataclass
+class ResultCache:
+    """On-disk content-addressed store with hit/miss accounting."""
+
+    root: str | Path = DEFAULT_CACHE_DIR
+    enabled: bool = True
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    _root_path: Path = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._root_path = Path(self.root)
+
+    # ------------------------------------------------------------------
+    def key_for(
+        self,
+        *,
+        bench_cls: type,
+        system: SystemSpec,
+        kind: str,
+        params: dict[str, Any],
+        values: list[Any] | None,
+        backend: str,
+    ) -> str:
+        """Content hash of one job's full dependency closure."""
+        material = {
+            "v": _KEY_VERSION,
+            "benchmark": bench_cls.name,
+            "sources": source_fingerprint(bench_cls),
+            "system": asdict(system),
+            "kind": kind,
+            "params": params,
+            "values": values,
+            "backend": backend,
+        }
+        return hashlib.sha256(_canonical(material).encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self._root_path / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Look a payload up; counts a hit or a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != CACHE_SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store a payload atomically (rename over any concurrent writer)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "key": key, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(entry, f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Counters for the exported ``execution``/scheduler metrics."""
+        return {
+            "enabled": self.enabled,
+            "dir": str(self._root_path),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

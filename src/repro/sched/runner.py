@@ -1,0 +1,188 @@
+"""Multiprocess sweep/suite scheduler with incremental caching.
+
+The unit of work is a :class:`JobSpec` — one benchmark comparison
+(``kind="run"``) or one sweep point (``kind="sweep"`` with a single
+value).  :func:`run_jobs` resolves each job against the
+:class:`~repro.sched.cache.ResultCache` first and fans the remaining
+misses out to a ``multiprocessing`` pool; results come back as the
+JSON-ready payloads the result types round-trip through, so a cached
+replay and a fresh computation are byte-for-byte interchangeable.
+
+:func:`parallel_sweep` and :func:`parallel_suite` are the two shapes
+the CLI uses: a figure sweep decomposes into one job per x-value
+(every benchmark's ``sweep`` runs its comparison independently per
+value, so concatenating single-value sweeps in value order reproduces
+the serial result exactly), and Table I decomposes into one job per
+benchmark.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.arch.presets import get_system
+from repro.common.errors import ReproError
+from repro.core.base import BenchResult, SweepResult
+from repro.core.registry import ALL_BENCHMARKS, get_benchmark
+from repro.core.suite import SuiteReport
+from repro.exec.dispatch import current_backend_name, use_backend
+from repro.sched.cache import ResultCache
+
+__all__ = ["JobSpec", "execute_job", "run_jobs", "parallel_sweep", "parallel_suite"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One self-contained, picklable unit of benchmark work."""
+
+    benchmark: str
+    kind: str = "run"                    #: "run" or "sweep" (one value)
+    params: dict[str, Any] = field(default_factory=dict)
+    values: tuple[Any, ...] | None = None
+    system: str | None = None            #: preset name; None = paper default
+    backend: str = "reference"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("run", "sweep"):
+            raise ReproError(f"unknown job kind {self.kind!r}")
+        if self.kind == "sweep" and not self.values:
+            raise ReproError("sweep jobs need at least one value")
+
+
+def _resolve(spec: JobSpec):
+    system = get_system(spec.system) if spec.system else None
+    return get_benchmark(spec.benchmark, system)
+
+
+def execute_job(spec: JobSpec) -> dict[str, Any]:
+    """Run one job and return its JSON-ready payload."""
+    bench = _resolve(spec)
+    with use_backend(spec.backend):
+        if spec.kind == "run":
+            result = bench.run(**spec.params)
+            return {"kind": "run", "result": result.as_dict()}
+        sweep = bench.sweep(list(spec.values), **spec.params)
+        return {"kind": "sweep", "sweep": sweep.as_dict(), "title": sweep.title}
+
+
+def _cache_key(cache: ResultCache, spec: JobSpec) -> str:
+    bench = _resolve(spec)
+    return cache.key_for(
+        bench_cls=type(bench),
+        system=bench.system,
+        kind=spec.kind,
+        params=spec.params,
+        values=list(spec.values) if spec.values is not None else None,
+        backend=spec.backend,
+    )
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list[dict[str, Any]]:
+    """Execute jobs, cache-first, misses in parallel; order-preserving.
+
+    The parent process owns all cache traffic: lookups happen before
+    dispatch (so warm entries never reach the pool) and stores happen
+    as results arrive — workers stay side-effect-free.
+    """
+    payloads: list[dict[str, Any] | None] = [None] * len(specs)
+    pending: list[tuple[int, JobSpec, str | None]] = []
+    for i, spec in enumerate(specs):
+        key = _cache_key(cache, spec) if cache is not None else None
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            payloads[i] = hit
+        else:
+            pending.append((i, spec, key))
+
+    if pending:
+        todo = [spec for _, spec, _ in pending]
+        if jobs > 1 and len(todo) > 1:
+            with multiprocessing.Pool(min(jobs, len(todo))) as pool:
+                fresh = pool.map(execute_job, todo)
+        else:
+            fresh = [execute_job(spec) for spec in todo]
+        for (i, _, key), payload in zip(pending, fresh):
+            payloads[i] = payload
+            if cache is not None and key is not None:
+                cache.put(key, payload)
+    return payloads  # type: ignore[return-value]
+
+
+def parallel_sweep(
+    benchmark: str,
+    values: Sequence[Any],
+    *,
+    params: dict[str, Any] | None = None,
+    system: str | None = None,
+    backend: str | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> SweepResult:
+    """A figure sweep as one job per value, merged in value order.
+
+    Identical to ``bench.sweep(values, **params)`` — byte-for-byte on
+    the exported document — because each sweep point is computed by the
+    same per-value comparison the serial loop runs.
+    """
+    if not values:
+        raise ReproError("parallel_sweep needs explicit sweep values")
+    resolved = current_backend_name(backend)
+    specs = [
+        JobSpec(
+            benchmark=benchmark,
+            kind="sweep",
+            params=dict(params or {}),
+            values=(v,),
+            system=system,
+            backend=resolved,
+        )
+        for v in values
+    ]
+    payloads = run_jobs(specs, jobs=jobs, cache=cache)
+    first = payloads[0]["sweep"]
+    merged = SweepResult.from_dict(first, title=payloads[0].get("title", ""))
+    for payload in payloads[1:]:
+        part = payload["sweep"]
+        if set(part["series"]) != set(merged.series):
+            raise ReproError(
+                f"sweep series mismatch across values: {sorted(part['series'])} "
+                f"vs {sorted(merged.series)}"
+            )
+        merged.x_values.extend(part["x_values"])
+        for name, points in part["series"].items():
+            merged.series[name].extend(points)
+    return merged
+
+
+def parallel_suite(
+    overrides: dict[str, dict[str, Any]] | None = None,
+    *,
+    system: str | None = None,
+    backend: str | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> SuiteReport:
+    """Table I as one job per benchmark (the ``table1 --jobs`` path)."""
+    overrides = overrides or {}
+    resolved = current_backend_name(backend)
+    specs = [
+        JobSpec(
+            benchmark=cls.name,
+            kind="run",
+            params=dict(overrides.get(cls.name, {})),
+            system=system,
+            backend=resolved,
+        )
+        for cls in ALL_BENCHMARKS
+    ]
+    payloads = run_jobs(specs, jobs=jobs, cache=cache)
+    return SuiteReport(
+        results=[BenchResult.from_dict(p["result"]) for p in payloads]
+    )

@@ -45,11 +45,18 @@ class ThreadContext(MemoryOpsMixin):
         name: str = "kernel",
         sanitizer=None,
         watchdog_cycles: float | None = None,
+        dispatch=None,
     ) -> None:
         self.gpu = gpu
         #: optional :class:`~repro.sanitize.core.Sanitizer` observing
         #: this launch's memory accesses and barriers
         self.sanitizer = sanitizer
+        if dispatch is None:
+            from repro.exec.dispatch import make_dispatcher
+
+            dispatch = make_dispatcher()
+        #: memory-analysis backend (:mod:`repro.exec.dispatch`)
+        self.dispatch = dispatch
         #: issue-cycle budget; exceeding it raises :class:`WatchdogTimeout`
         self.watchdog_cycles = watchdog_cycles
         self.grid = grid

@@ -79,6 +79,7 @@ def run_kernel(
     sanitizer=None,
     watchdog_cycles: float | None = None,
     hub=None,
+    dispatch=None,
     _depth: int = 0,
 ) -> KernelStats:
     """Execute one kernel launch and return its statistics.
@@ -117,6 +118,7 @@ def run_kernel(
         name=name or kdef.name,
         sanitizer=sanitizer,
         watchdog_cycles=watchdog_cycles,
+        dispatch=dispatch,
     )
     try:
         kdef(ctx, *args)
@@ -156,6 +158,7 @@ def run_kernel(
             sanitizer=sanitizer,
             watchdog_cycles=watchdog_cycles,
             hub=hub,
+            dispatch=ctx.dispatch,
             _depth=_depth + 1,
         )
         stats.merge_child(child)

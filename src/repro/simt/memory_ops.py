@@ -6,8 +6,9 @@ things at once:
 
 1. *functional execution* — vectorized gather/scatter against the
    backing NumPy buffers, honouring the current activity mask;
-2. *coalescing analysis* — lane byte-addresses are run through
-   :func:`repro.mem.coalesce.analyze_access` and appended to the
+2. *coalescing analysis* — lane byte-addresses are run through the
+   context's :mod:`repro.exec.dispatch` backend (reference analyzer or
+   residue-class fast path, identical results) and appended to the
    launch's access trace for later cache resolution;
 3. *issue accounting* — the LSU is occupied for one cycle per
    transaction, so a fully uncoalesced access (32 transactions) costs
@@ -21,7 +22,7 @@ import numpy as np
 
 from repro.common.errors import InvalidAddressError, KernelRuntimeError
 from repro.mem.buffer import DeviceArray
-from repro.mem.coalesce import analyze_access, lanes_to_warps, warp_distinct_counts
+from repro.mem.coalesce import lanes_to_warps, warp_distinct_counts
 from repro.simt.lanevec import LaneVec
 from repro.simt.texture import TextureView
 
@@ -35,6 +36,7 @@ class MemoryOpsMixin:
     gpu: object
     stats: object
     sanitizer: object
+    dispatch: object
     total_lanes: int
     warp_size: int
 
@@ -102,7 +104,7 @@ class MemoryOpsMixin:
             return idx_safe, mask
 
         addrs = arr.base_addr + idx_safe * arr.itemsize
-        summary = analyze_access(
+        summary = self.dispatch.analyze_global(
             addrs,
             mask,
             arr.itemsize,

@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.errors import InvalidAddressError, LaunchConfigError
-from repro.mem.banks import analyze_shared_access
 from repro.simt.lanevec import LaneVec
 
 __all__ = ["SharedArray"]
@@ -91,7 +90,7 @@ class SharedArray:
                 )
         flat_safe = np.where(mask, flat, 0)
         if mask.any():
-            summary = analyze_shared_access(
+            summary = ctx.dispatch.analyze_shared(
                 flat_safe * self.dtype.itemsize,
                 mask,
                 warp_size=ctx.warp_size,

@@ -1,0 +1,105 @@
+"""Differential suite: the fast backend must be bit-identical to reference.
+
+Every registered microbenchmark runs once per backend at test scale and
+the two :class:`BenchResult` documents are compared field-for-field.
+Representative kernels are additionally launched through two runtimes to
+assert equality of the *raw microarchitectural counters* (the quantities
+the fast path actually recomputes) and to prove the fast path engages
+rather than silently falling back everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import CARINA
+from repro.core.registry import ALL_BENCHMARKS, get_benchmark
+from repro.exec import use_backend
+from repro.host.runtime import CudaLite
+from repro.simt.kernel import kernel
+
+#: small parameters so the 14x2 differential run stays in test time
+#: (mirrors tests/core/test_suite.py FAST_OVERRIDES)
+SCALED = {
+    "WarpDivRedux": dict(n=1 << 16),
+    "DynParallel": dict(size=128, max_dwell=64),
+    "Conkernels": dict(rounds=16),
+    "TaskGraph": dict(chain_len=4, iterations=5, n=2048),
+    "Shmem": dict(n=64),
+    "CoMem": dict(n=1 << 19),
+    "MemAlign": dict(n=1 << 18),
+    "GSOverlap": dict(n=1 << 18),
+    "Shuffle": dict(n=1 << 18),
+    "BankRedux": dict(n=1 << 16),
+    "HDOverlap": dict(n=1 << 18),
+    "ReadOnlyMem": dict(n=256),
+    "UniMem": dict(n=1 << 20, stride=1 << 14),
+    "MiniTransfer": dict(n=256, nnz=1024),
+}
+
+
+@pytest.mark.parametrize("cls", ALL_BENCHMARKS, ids=lambda c: c.name)
+def test_benchmark_identical_across_backends(cls):
+    params = SCALED.get(cls.name, {})
+    with use_backend("reference"):
+        ref = get_benchmark(cls.name).run(**params)
+    with use_backend("fast"):
+        fast = get_benchmark(cls.name).run(**params)
+    assert ref.as_dict() == fast.as_dict(), (
+        f"{cls.name}: fast backend diverged from reference"
+    )
+
+
+# ---------------------------------------------------------------------------
+# kernel-level counter equality
+
+
+@kernel
+def stream_copy(ctx, x, y, n):
+    i = ctx.global_thread_id()
+    ctx.if_active(i < n, lambda: ctx.store(y, i, ctx.load(x, i)))
+
+
+@kernel
+def strided_touch(ctx, x, n, stride):
+    i = ctx.global_thread_id() * stride
+    ctx.if_active(i < n, lambda: ctx.store(x, i, ctx.load(x, i) + 1.0))
+
+
+@kernel
+def shared_column(ctx, x, width):
+    tid = ctx.thread_idx_x
+    tile = ctx.shared_array((width * 32,), np.float32)
+    tile.store(tid * width, ctx.load(x, ctx.global_thread_id()))
+    ctx.syncthreads()
+    ctx.store(x, ctx.global_thread_id(), tile.load(tid * width))
+
+
+def _launch_all(backend):
+    rt = CudaLite(CARINA, backend=backend)
+    n = 1 << 14
+    x = rt.to_device(np.arange(n, dtype=np.float32))
+    y = rt.malloc(n, np.float32)
+    rt.launch(stream_copy, n // 256, 256, x, y, n)
+    rt.launch(strided_touch, n // 256, 256, x, n, 32)
+    rt.launch(shared_column, 1, 32, x, 8)
+    counters = [stats.counters() for stats, _ in rt.kernel_log]
+    return rt, counters
+
+
+class TestKernelCounters:
+    def test_counters_identical(self):
+        _, ref = _launch_all("reference")
+        _, fast = _launch_all("fast")
+        assert ref == fast
+
+    def test_fast_path_engages(self):
+        rt, _ = _launch_all("fast")
+        c = rt.dispatch.counters
+        assert c.global_fast > 0, "affine global accesses never hit the fast path"
+        assert c.shared_fast > 0, "affine shared accesses never hit the fast path"
+
+    def test_reference_backend_never_uses_fast_path(self):
+        rt, _ = _launch_all("reference")
+        c = rt.dispatch.counters
+        assert c.global_fast == c.shared_fast == 0
+        assert c.global_reference > 0

@@ -111,3 +111,73 @@ class TestRender:
         e = r.entries[0]
         assert e.rel_delta == float("inf")
         assert isinstance(r, DiffReport)
+
+
+def bench_doc(rows):
+    return {
+        "schema": "repro-prof-bench/1",
+        "results": [
+            {
+                "benchmark": name,
+                "baseline_time_s": base,
+                "optimized_time_s": opt,
+                "speedup": base / opt,
+                "verified": True,
+            }
+            for name, base, opt in rows
+        ],
+    }
+
+
+class TestBenchDocuments:
+    """Regression: bench documents used to diff to an empty OK report."""
+
+    def test_added_and_removed_benchmarks_reported(self):
+        r = diff_metrics(
+            bench_doc([("A", 1.0, 0.5), ("B", 1.0, 0.5)]),
+            bench_doc([("B", 1.0, 0.5), ("C", 1.0, 0.5)]),
+        )
+        assert r.added_benchmarks == ["C"]
+        assert r.removed_benchmarks == ["A"]
+        assert "benchmarks only in after: C" in r.render()
+        assert "benchmarks only in before: A" in r.render()
+
+    def test_presence_changes_alone_are_not_regressions(self):
+        r = diff_metrics(bench_doc([("A", 1.0, 0.5)]), bench_doc([("B", 1.0, 0.5)]))
+        assert r.ok
+
+    def test_speedup_drop_regresses(self):
+        r = diff_metrics(
+            bench_doc([("A", 1.0, 0.5)]),   # speedup 2.0
+            bench_doc([("A", 1.0, 0.8)]),   # speedup 1.25
+        )
+        assert not r.ok
+        quantities = {e.quantity for e in r.regressions}
+        assert "speedup" in quantities
+
+    def test_speedup_within_tolerance_ok(self):
+        r = diff_metrics(
+            bench_doc([("A", 1.0, 0.50)]),
+            bench_doc([("A", 1.0, 0.52)]),   # 2.0 -> 1.92, inside 10%
+        )
+        assert r.ok
+
+    def test_speedup_improvement_never_regresses(self):
+        r = diff_metrics(bench_doc([("A", 1.0, 0.5)]), bench_doc([("A", 1.0, 0.25)]))
+        assert r.ok
+
+    def test_baseline_time_growth_regresses(self):
+        before = bench_doc([("A", 1.0, 0.5)])
+        after = bench_doc([("A", 2.0, 1.0)])   # same speedup, slower overall
+        r = diff_metrics(before, after)
+        assert not r.ok
+        assert {e.quantity for e in r.regressions} == {
+            "baseline_time_s",
+            "optimized_time_s",
+        }
+
+    def test_identical_bench_docs_clean(self):
+        d = bench_doc([("A", 1.0, 0.5), ("B", 2.0, 0.5)])
+        r = diff_metrics(d, d)
+        assert r.ok and not r.changed()
+        assert not r.added_benchmarks and not r.removed_benchmarks

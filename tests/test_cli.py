@@ -213,3 +213,102 @@ class TestSanitizeCommand:
 
     def test_unknown_demo_or_benchmark(self, capsys):
         assert main(["sanitize", "no-such-target"]) == 2
+
+
+class TestBackendFlag:
+    def test_run_backend_fast_matches_reference(self, capsys):
+        assert main(["run", "MemAlign", "--backend", "fast", "-p", "n=65536"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main(["run", "MemAlign", "--backend", "reference", "-p", "n=65536"]) == 0
+        ref_out = capsys.readouterr().out
+        assert fast_out == ref_out
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["run", "MemAlign", "--backend", "vectorized"])
+
+
+class TestSchedulerFlags:
+    def test_parallel_sweep_out_is_byte_identical(self, capsys, tmp_path):
+        values = "65536,131072"
+        serial = tmp_path / "serial.json"
+        par = tmp_path / "par.json"
+        stats = tmp_path / "stats.json"
+        assert main(
+            ["sweep", "BankRedux", "--values", values, "--out", str(serial)]
+        ) == 0
+        assert main(
+            [
+                "sweep", "BankRedux", "--values", values, "--out", str(par),
+                "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+                "--stats", str(stats),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == par.read_bytes()
+        import json
+
+        doc = json.loads(stats.read_text())
+        assert doc["schema"] == "repro-prof-sched/1"
+        assert doc["cache"]["misses"] == 2 and doc["cache"]["hits"] == 0
+
+    def test_warm_cache_skips_recompute(self, capsys, tmp_path):
+        argv = [
+            "sweep", "BankRedux", "--values", "65536,131072",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--stats", str(tmp_path / "stats.json"),
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        capsys.readouterr()
+        import json
+
+        doc = json.loads((tmp_path / "stats.json").read_text())
+        assert doc["cache"]["hits"] == 2 and doc["cache"]["misses"] == 0
+
+    def test_no_cache_disables_lookup(self, capsys, tmp_path):
+        argv = [
+            "sweep", "BankRedux", "--values", "65536", "--jobs", "2",
+            "--no-cache", "--cache-dir", str(tmp_path / "cache"),
+            "--stats", str(tmp_path / "stats.json"),
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        capsys.readouterr()
+        import json
+
+        doc = json.loads((tmp_path / "stats.json").read_text())
+        assert doc["cache"]["enabled"] is False
+        assert doc["cache"]["hits"] == 0 and doc["cache"]["stores"] == 0
+
+    def test_jobs_without_values_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "BankRedux", "--jobs", "2"])
+
+
+class TestProfDiffBenchDocs:
+    def test_reports_removed_benchmark(self, capsys, tmp_path):
+        import json
+
+        def doc(names):
+            return {
+                "schema": "repro-prof-bench/1",
+                "results": [
+                    {
+                        "benchmark": n,
+                        "baseline_time_s": 1.0,
+                        "optimized_time_s": 0.5,
+                        "speedup": 2.0,
+                        "verified": True,
+                    }
+                    for n in names
+                ],
+            }
+
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        before.write_text(json.dumps(doc(["CoMem", "Shmem"])))
+        after.write_text(json.dumps(doc(["CoMem"])))
+        assert main(["prof", "diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "benchmarks only in before: Shmem" in out

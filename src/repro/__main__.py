@@ -16,12 +16,18 @@ Usage examples::
     python -m repro profile WarpDivRedux --trace trace.json
     python -m repro run CoMem --trace trace.json --json metrics.json
     python -m repro prof diff before.json after.json
+    python -m repro prof diff before.json after.json --claims benchmarks/claims
     python -m repro prof roofline metrics.json
+    python -m repro check --all
+    python -m repro check CoMem BankRedux --backend both
+    python -m repro check --all --quick --json conformance.json
+    python -m repro check --doc benchmarks/results/table1_summary.json
 
 Exit codes: ``doctor`` and ``sanitize`` exit 1 when any critical
 finding is reported, ``prof diff`` exits 1 when a metric regresses
-beyond its threshold; every command exits 2 on a runtime error and 0
-otherwise.
+beyond its threshold (or a ``--claims`` claim fails), ``check`` exits 1
+when any conformance check fails; every command exits 2 on a runtime
+error and 0 otherwise.
 """
 
 from __future__ import annotations
@@ -346,9 +352,19 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_prof_diff(args: argparse.Namespace) -> int:
-    """Compare two metrics documents; exit 1 on regression."""
+    """Compare two metrics documents; exit 1 on regression.
+
+    With ``--claims`` the paper-claim specs are evaluated against the
+    *after* document and failures count as regressions — absolute
+    thresholds alongside the relative before/after ones.
+    """
     from repro.prof import diff_metrics, load_metrics
 
+    claim_specs = None
+    if args.claims:
+        from repro.check import load_claims
+
+        claim_specs = load_claims(args.claims)
     before = load_metrics(args.before)
     after = load_metrics(args.after)
     report = diff_metrics(
@@ -358,8 +374,61 @@ def cmd_prof_diff(args: argparse.Namespace) -> int:
         metric_tolerance=args.metric_tolerance,
         before_label=Path(args.before).name,
         after_label=Path(args.after).name,
+        claim_specs=claim_specs,
     )
     print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the paper-claims conformance pass; exit 1 on any failure.
+
+    Live mode (``--all`` or benchmark names) re-runs each claimed
+    comparison under the profiler per backend, evaluates the claim
+    files, audits the exported metrics against the invariant registry,
+    and runs the metamorphic relations.  Offline mode (``--doc``)
+    audits saved documents instead: structural validation, kernel/
+    result invariants, and result-level claims at matching parameters.
+    """
+    from repro.check import (
+        ConformanceReport,
+        check_all,
+        check_document,
+        evaluate_claims_on_document,
+        load_claims_dir,
+    )
+
+    if args.doc:
+        from repro.prof import load_metrics
+
+        specs = load_claims_dir(args.claims_dir)
+        report = ConformanceReport(title="conformance audit of saved documents")
+        for doc_path in args.doc:
+            doc = load_metrics(doc_path)
+            subject = Path(doc_path).stem
+            report.extend(check_document(doc, subject=subject))
+            report.extend(
+                evaluate_claims_on_document(
+                    specs.values(), doc, quick=args.quick
+                )
+            )
+    else:
+        if not args.benchmarks and not args.all:
+            raise ReproError(
+                "nothing to check: name benchmarks, or pass --all / --doc"
+            )
+        report = check_all(
+            benchmarks=args.benchmarks or None,
+            claims_dir=args.claims_dir,
+            backend=args.backend,
+            quick=args.quick,
+            relations=not args.no_relations,
+            system=args.system,
+        )
+    print(report.render())
+    if args.json:
+        path = report.write_json(args.json)
+        print(f"conformance report written to {path}")
     return 0 if report.ok else 1
 
 
@@ -559,12 +628,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="absolute efficiency-drop threshold (default 0.05)",
     )
+    diff_p.add_argument(
+        "--claims",
+        help="claim file or directory; claims failing on the after "
+        "document count as regressions",
+    )
     diff_p.set_defaults(fn=cmd_prof_diff)
     roof_p = prof_sub.add_parser(
         "roofline", help="print the roofline table of a metrics JSON"
     )
     roof_p.add_argument("metrics", help="metrics JSON from `repro profile`")
     roof_p.set_defaults(fn=cmd_prof_roofline)
+
+    check_p = sub.add_parser(
+        "check",
+        help="verify the paper's claims: Table I ranges, figure trends, "
+        "metric invariants, metamorphic relations",
+    )
+    check_p.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="Table I names to check (default: none; use --all)",
+    )
+    check_p.add_argument(
+        "--all", action="store_true", help="check every benchmark with a claim file"
+    )
+    check_p.add_argument(
+        "--backend",
+        choices=("reference", "fast", "both"),
+        help="execution backend(s) to check under (default: both)",
+    )
+    check_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip claims tagged slow = true in their claim file",
+    )
+    check_p.add_argument(
+        "--claims-dir",
+        help="claim-file directory (default benchmarks/claims)",
+    )
+    check_p.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        help="audit a saved metrics/results JSON instead of running live "
+        "(repeatable)",
+    )
+    check_p.add_argument(
+        "--no-relations",
+        action="store_true",
+        help="skip the metamorphic-relation runner",
+    )
+    check_p.add_argument("--system", help="carina | fornax | rtx3080")
+    check_p.add_argument("--json", help="write the conformance report JSON here")
+    check_p.set_defaults(fn=cmd_check)
 
     doc_p = sub.add_parser(
         "doctor", help="diagnose a benchmark's kernels for performance bugs"

@@ -11,6 +11,7 @@ figure's series.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -75,14 +76,36 @@ class BenchResult:
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "BenchResult":
         """Inverse of :meth:`as_dict` (cache replay); exact round-trip —
-        ``speedup`` is recomputed from the same floats."""
+        ``speedup`` is recomputed from the same floats.
+
+        Times are validated: a cached or hand-edited document with NaN
+        or negative times would silently poison every downstream
+        speedup, so it is rejected here at the trust boundary.
+        """
+        from repro.common.errors import ReproError
+
+        times = {}
+        for key in ("baseline_time_s", "optimized_time_s"):
+            try:
+                value = float(d[key])
+            except (KeyError, TypeError, ValueError):
+                raise ReproError(
+                    f"BenchResult document for {d.get('benchmark')!r} has "
+                    f"non-numeric {key}: {d.get(key)!r}"
+                ) from None
+            if not math.isfinite(value) or value < 0.0:
+                raise ReproError(
+                    f"BenchResult document for {d.get('benchmark')!r} has "
+                    f"invalid {key} = {value!r} (must be finite and >= 0)"
+                )
+            times[key] = value
         return cls(
             benchmark=d["benchmark"],
             system=d["system"],
             baseline_name=d["baseline_name"],
             optimized_name=d["optimized_name"],
-            baseline_time=d["baseline_time_s"],
-            optimized_time=d["optimized_time_s"],
+            baseline_time=times["baseline_time_s"],
+            optimized_time=times["optimized_time_s"],
             verified=d["verified"],
             params=dict(d.get("params", {})),
             metrics=dict(d.get("metrics", {})),

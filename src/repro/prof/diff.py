@@ -16,6 +16,12 @@ instead of by kernel: speedups falling by more than the relative time
 tolerance regress, and benchmarks present in only one document are
 reported as added/removed rather than silently intersected away.
 
+``repro prof diff --claims <file-or-dir>`` additionally evaluates the
+paper-claim specs (:mod:`repro.check.claims`) against the *after*
+document, turning absolute claims (Table I speedup ranges, metric
+bounds, verification) into regression thresholds alongside the
+relative before/after ones.
+
 The report's :attr:`DiffReport.ok` drives the CLI exit code, making the
 diff usable as a CI perf gate over committed baseline JSONs.
 """
@@ -89,14 +95,20 @@ class DiffReport:
     removed_kernels: list[str] = field(default_factory=list)
     added_benchmarks: list[str] = field(default_factory=list)
     removed_benchmarks: list[str] = field(default_factory=list)
+    #: CheckOutcome list from evaluating claim specs on the after doc
+    claim_outcomes: list[Any] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[DiffEntry]:
         return [e for e in self.entries if e.regressed]
 
     @property
+    def failed_claims(self) -> list[Any]:
+        return [o for o in self.claim_outcomes if not o.passed]
+
+    @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.failed_claims
 
     def changed(self, eps: float = 1e-12) -> list[DiffEntry]:
         return [e for e in self.entries if abs(e.delta) > eps]
@@ -141,7 +153,15 @@ class DiffReport:
             lines.append(
                 f"benchmarks only in before: {', '.join(self.removed_benchmarks)}"
             )
-        n = len(self.regressions)
+        if self.claim_outcomes:
+            n_claims = len(self.claim_outcomes)
+            lines.append(
+                f"paper claims on {self.after_label}: "
+                f"{n_claims - len(self.failed_claims)}/{n_claims} pass"
+            )
+            for o in self.failed_claims:
+                lines.append(f"  {o}")
+        n = len(self.regressions) + len(self.failed_claims)
         lines.append(
             "verdict: OK" if self.ok else f"verdict: {n} regression(s) beyond threshold"
         )
@@ -215,8 +235,15 @@ def diff_metrics(
     metric_tolerance: float = DEFAULT_METRIC_TOLERANCE,
     before_label: str = "before",
     after_label: str = "after",
+    claim_specs: Any = None,
 ) -> DiffReport:
-    """Compare two documents kernel by kernel and benchmark by benchmark."""
+    """Compare two documents kernel by kernel and benchmark by benchmark.
+
+    ``claim_specs`` is an optional iterable of
+    :class:`repro.check.claims.ClaimSpec`; when given, their
+    result-level claims are evaluated against ``after`` and failures
+    count as regressions.
+    """
     report = DiffReport(
         before_label=before_label,
         after_label=after_label,
@@ -237,4 +264,8 @@ def diff_metrics(
     report.added_benchmarks = sorted(set(b1) - set(b0))
     for name in sorted(set(b0) & set(b1)):
         report.entries.extend(_bench_diffs(name, b0[name], b1[name], time_tolerance))
+    if claim_specs is not None:
+        from repro.check.claims import evaluate_claims_on_document
+
+        report.claim_outcomes = evaluate_claims_on_document(claim_specs, after)
     return report

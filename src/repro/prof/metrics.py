@@ -53,6 +53,9 @@ def gpu_info(gpu: GPUSpec) -> dict[str, Any]:
         "name": gpu.name,
         "compute_capability": list(gpu.compute_capability),
         "sm_count": gpu.sm_count,
+        "warp_size": gpu.warp_size,
+        "transaction_bytes": gpu.transaction_bytes,
+        "sector_bytes": gpu.sector_bytes,
         "clock_hz": gpu.clock_hz,
         "dram_bandwidth_bytes_per_s": gpu.dram_bandwidth,
         "peak_fp32_flops": gpu.peak_fp32_flops,

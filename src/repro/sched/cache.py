@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.arch.spec import SystemSpec
+from repro.common.errors import ReproError
 
 __all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "ResultCache", "source_fingerprint"]
 
@@ -125,7 +126,8 @@ class ResultCache:
         path = self._path(key)
         try:
             entry = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError):
+            # missing, unreadable, or torn entries all read as a miss
             self.misses += 1
             return None
         if entry.get("schema") != CACHE_SCHEMA:
@@ -135,13 +137,24 @@ class ResultCache:
         return entry["payload"]
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
-        """Store a payload atomically (rename over any concurrent writer)."""
+        """Store a payload atomically (rename over any concurrent writer).
+
+        An unwritable cache directory surfaces as a :class:`ReproError`
+        (CLI exit 2 with the path in the message) instead of a raw
+        ``OSError`` traceback — ``--cache-dir`` is user input.
+        """
         if not self.enabled:
             return
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"schema": CACHE_SCHEMA, "key": key, "payload": payload}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            entry = {"schema": CACHE_SCHEMA, "key": key, "payload": payload}
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError as exc:
+            raise ReproError(
+                f"result cache at {self._root_path} is not writable: {exc}; "
+                "pick another --cache-dir or pass --no-cache"
+            ) from None
         try:
             with os.fdopen(fd, "w") as f:
                 json.dump(entry, f)

@@ -79,6 +79,7 @@ class ThreadContext(MemoryOpsMixin):
             block=block,
             threads=self.n_blocks * bs,
             warps=self.total_lanes // self.warp_size,
+            warp_size=self.warp_size,
             trace=AccessTrace.for_grid(self.total_lanes, self.warp_size),
         )
 

@@ -35,6 +35,9 @@ class KernelStats:
     block: Dim3
     threads: int
     warps: int
+    #: warp width the launch ran with (non-32 widths arise in what-if
+    #: studies and the metamorphic warp-size relations)
+    warp_size: int = 32
 
     #: static launch resources, filled in by the executor (occupancy inputs)
     shared_mem_per_block: int = 0
@@ -90,7 +93,7 @@ class KernelStats:
         nvprof's ``warp_execution_efficiency``: 100% means no divergence
         waste (paper §III-A reports 85.71% vs 100% for WD vs noWD).
         """
-        denom = self.warp_instructions * 32
+        denom = self.warp_instructions * self.warp_size
         return self.thread_instructions / denom if denom else 1.0
 
     @property

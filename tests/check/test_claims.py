@@ -1,0 +1,266 @@
+"""Claim-spec parsing and evaluation (``repro.check.claims``)."""
+
+import pytest
+
+from repro.check.claims import (
+    evaluate_claims_on_document,
+    evaluate_result_claim,
+    evaluate_sweep_claim,
+    load_claim_file,
+    load_claims,
+    load_claims_dir,
+)
+from repro.common.errors import ReproError
+
+
+def write_claim(tmp_path, body, name="spec.toml"):
+    path = tmp_path / name
+    path.write_text(body)
+    return path
+
+
+VALID = """
+schema = "repro-claims/1"
+benchmark = "CoMem"
+source = "Table I"
+
+[run]
+n = 65536
+
+[[claims]]
+kind = "speedup"
+min = 2.0
+max = 30.0
+paper = "18 (average)"
+
+[[claims]]
+kind = "verified"
+
+[[claims]]
+kind = "metric"
+key = "cyclic_transactions_per_request"
+max = 1.05
+
+[[claims]]
+kind = "metric_ratio"
+numerator = "block_transactions_per_request"
+denominator = "cyclic_transactions_per_request"
+min = 4.0
+
+[[claims]]
+kind = "sweep_monotonic"
+values = [1024, 4096]
+baseline = "BLOCK"
+optimized = "CYCLIC"
+direction = "increasing"
+slow = true
+"""
+
+
+class TestLoading:
+    def test_valid_file(self, tmp_path):
+        spec = load_claim_file(write_claim(tmp_path, VALID))
+        assert spec.benchmark == "CoMem"
+        assert spec.run_params == {"n": 65536}
+        assert len(spec.claims) == 5
+        assert spec.claims[0].paper == "18 (average)"
+
+    def test_quick_filters_slow_claims(self, tmp_path):
+        spec = load_claim_file(write_claim(tmp_path, VALID))
+        assert len(spec.sweep_claims()) == 1
+        assert spec.sweep_claims(quick=True) == []
+        # result claims here are all fast; quick keeps them
+        assert len(spec.result_claims(quick=True)) == 4
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_claim_file(tmp_path / "nope.toml")
+
+    def test_invalid_toml(self, tmp_path):
+        path = write_claim(tmp_path, "schema = [unclosed")
+        with pytest.raises(ReproError, match="not valid TOML"):
+            load_claim_file(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = write_claim(
+            tmp_path, 'schema = "repro-claims/9"\nbenchmark = "X"\n[[claims]]\nkind = "verified"'
+        )
+        with pytest.raises(ReproError, match="schema"):
+            load_claim_file(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = write_claim(
+            tmp_path,
+            'schema = "repro-claims/1"\nbenchmark = "X"\n'
+            '[[claims]]\nkind = "vibes"\n',
+        )
+        with pytest.raises(ReproError, match="unknown claim kind"):
+            load_claim_file(path)
+
+    def test_unknown_field_rejected(self, tmp_path):
+        path = write_claim(
+            tmp_path,
+            'schema = "repro-claims/1"\nbenchmark = "X"\n'
+            '[[claims]]\nkind = "verified"\ntreshold = 2.0\n',
+        )
+        with pytest.raises(ReproError, match="unknown claim field"):
+            load_claim_file(path)
+
+    def test_metric_needs_key(self, tmp_path):
+        path = write_claim(
+            tmp_path,
+            'schema = "repro-claims/1"\nbenchmark = "X"\n'
+            '[[claims]]\nkind = "metric"\nmin = 1.0\n',
+        )
+        with pytest.raises(ReproError, match="needs a 'key'"):
+            load_claim_file(path)
+
+    def test_range_required(self, tmp_path):
+        path = write_claim(
+            tmp_path,
+            'schema = "repro-claims/1"\nbenchmark = "X"\n'
+            '[[claims]]\nkind = "speedup"\n',
+        )
+        with pytest.raises(ReproError, match="'min' and/or 'max'"):
+            load_claim_file(path)
+
+    def test_duplicate_benchmark_in_dir(self, tmp_path):
+        write_claim(tmp_path, VALID, name="a.toml")
+        write_claim(tmp_path, VALID, name="b.toml")
+        with pytest.raises(ReproError, match="duplicate claims"):
+            load_claims_dir(tmp_path)
+
+    def test_load_claims_file_or_dir(self, tmp_path):
+        path = write_claim(tmp_path, VALID)
+        assert len(load_claims(path)) == 1
+        assert len(load_claims(tmp_path)) == 1
+
+    def test_committed_claim_files_cover_all_benchmarks(self):
+        from repro.core.registry import list_benchmarks
+
+        specs = load_claims_dir()
+        assert set(specs) == set(list_benchmarks())
+        for spec in specs.values():
+            kinds = {c.kind for c in spec.claims}
+            assert "speedup" in kinds, spec.benchmark
+            assert "verified" in kinds, spec.benchmark
+
+
+ROW = {
+    "benchmark": "CoMem",
+    "baseline_name": "block",
+    "optimized_name": "cyclic",
+    "baseline_time_s": 1.0,
+    "optimized_time_s": 0.1,
+    "speedup": 10.0,
+    "verified": True,
+    "params": {"n": 65536},
+    "metrics": {
+        "block_transactions_per_request": 16.0,
+        "cyclic_transactions_per_request": 1.0,
+    },
+}
+
+
+class TestResultEvaluation:
+    def _claims(self, tmp_path):
+        return load_claim_file(write_claim(tmp_path, VALID)).claims
+
+    def test_all_pass_on_conforming_row(self, tmp_path):
+        for claim in self._claims(tmp_path)[:4]:
+            out = evaluate_result_claim(claim, ROW, benchmark="CoMem")
+            assert out.passed, out
+
+    def test_speedup_out_of_range_fails_with_paper_context(self, tmp_path):
+        row = dict(ROW, speedup=1.0)
+        out = evaluate_result_claim(self._claims(tmp_path)[0], row, benchmark="CoMem")
+        assert not out.passed
+        assert "18 (average)" in out.detail
+        assert "[2, 30]" in out.detail
+
+    def test_unverified_fails_naming_both_kernels(self, tmp_path):
+        row = dict(ROW, verified=False)
+        out = evaluate_result_claim(self._claims(tmp_path)[1], row, benchmark="CoMem")
+        assert not out.passed
+        assert "cyclic" in out.detail and "block" in out.detail
+
+    def test_missing_metric_fails(self, tmp_path):
+        row = dict(ROW, metrics={})
+        out = evaluate_result_claim(self._claims(tmp_path)[2], row, benchmark="CoMem")
+        assert not out.passed
+        assert "missing" in out.detail
+
+    def test_nan_speedup_fails(self, tmp_path):
+        row = dict(ROW, speedup=float("nan"))
+        out = evaluate_result_claim(self._claims(tmp_path)[0], row, benchmark="CoMem")
+        assert not out.passed
+
+
+def sweep(series):
+    return {"x_name": "n", "x_values": [1024, 4096], "series": series}
+
+
+class TestSweepEvaluation:
+    def _sweep_claim(self, tmp_path):
+        return load_claim_file(write_claim(tmp_path, VALID)).claims[4]
+
+    def test_increasing_trend_passes(self, tmp_path):
+        out = evaluate_sweep_claim(
+            self._sweep_claim(tmp_path),
+            sweep({"BLOCK": [2.0, 8.0], "CYCLIC": [1.0, 1.0]}),
+            benchmark="CoMem",
+        )
+        assert out.passed
+
+    def test_decreasing_trend_fails(self, tmp_path):
+        out = evaluate_sweep_claim(
+            self._sweep_claim(tmp_path),
+            sweep({"BLOCK": [8.0, 2.0], "CYCLIC": [1.0, 1.0]}),
+            benchmark="CoMem",
+        )
+        assert not out.passed
+
+    def test_unknown_series_fails_listing_names(self, tmp_path):
+        out = evaluate_sweep_claim(
+            self._sweep_claim(tmp_path),
+            sweep({"serial": [1.0, 1.0], "parallel": [1.0, 1.0]}),
+            benchmark="CoMem",
+        )
+        assert not out.passed
+        assert "serial" in out.detail
+
+    def test_crossover(self, tmp_path):
+        path = write_claim(
+            tmp_path,
+            'schema = "repro-claims/1"\nbenchmark = "X"\n'
+            '[[claims]]\nkind = "sweep_crossover"\nvalues = [1024, 4096]\n'
+            'baseline = "a"\noptimized = "b"\nthreshold = 1.0\n',
+            name="x.toml",
+        )
+        claim = load_claim_file(path).claims[0]
+        crossing = sweep({"a": [0.5, 2.0], "b": [1.0, 1.0]})
+        assert evaluate_sweep_claim(claim, crossing, benchmark="X").passed
+        always_above = sweep({"a": [2.0, 3.0], "b": [1.0, 1.0]})
+        assert not evaluate_sweep_claim(claim, always_above, benchmark="X").passed
+
+
+class TestDocumentEvaluation:
+    def test_evaluates_matching_rows(self, tmp_path):
+        specs = [load_claim_file(write_claim(tmp_path, VALID))]
+        doc = {"schema": "repro-prof-bench/1", "results": [ROW]}
+        outcomes = evaluate_claims_on_document(specs, doc)
+        assert len(outcomes) == 4
+        assert all(o.passed for o in outcomes)
+
+    def test_skips_rows_at_other_params(self, tmp_path):
+        specs = [load_claim_file(write_claim(tmp_path, VALID))]
+        doc = {
+            "schema": "repro-prof-bench/1",
+            "results": [dict(ROW, params={"n": 128})],
+        }
+        assert evaluate_claims_on_document(specs, doc) == []
+
+    def test_skips_benchmarks_without_rows(self, tmp_path):
+        specs = [load_claim_file(write_claim(tmp_path, VALID))]
+        doc = {"schema": "repro-prof-bench/1", "results": []}
+        assert evaluate_claims_on_document(specs, doc) == []

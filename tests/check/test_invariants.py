@@ -1,0 +1,243 @@
+"""Physical-invariant registry (``repro.check.invariants``)."""
+
+import json
+
+import pytest
+
+from repro.check.invariants import (
+    KERNEL_INVARIANTS,
+    check_bench_row,
+    check_cache_dir,
+    check_document,
+    check_kernel_entry,
+    check_sweep,
+)
+from repro.common.errors import ReproError
+
+GPU = {"warp_size": 32, "transaction_bytes": 128, "sector_bytes": 32}
+
+
+def entry(**over):
+    """A minimal, physically-consistent kernel entry."""
+    base = {
+        "time_total_s": 1e-4,
+        "time_avg_s": 1e-4,
+        "grid": [4, 1, 1],
+        "block": [256, 1, 1],
+        "counters": {
+            "blocks": 4,
+            "threads": 1024,
+            "warps": 32,
+            "global_requests": 64,
+            "transactions": 64,
+            "sectors_requested": 256,
+            "bytes_requested": 8192,
+            "branches": 10,
+            "divergent_branches": 2,
+            "shared_requests": 8,
+            "shared_passes": 10,
+            "bank_conflict_extra": 2,
+        },
+        "metrics": {
+            "warp_execution_efficiency": 0.9,
+            "branch_efficiency": 0.8,
+            "gld_efficiency": 1.0,
+            "shared_efficiency": 0.8,
+            "achieved_occupancy": 0.5,
+        },
+        "traffic": {
+            "l1_hit_rate": 0.5,
+            "l2_hit_rate": 0.5,
+            "l2_sectors": 256,
+            "dram_sectors": 128,
+            "dram_read_bytes": 3000,
+            "dram_write_bytes": 1096,
+            "dram_bytes": 4096,
+            "dram_uncached_read_bytes": 0,
+        },
+    }
+    base.update(over)
+    return base
+
+
+def failures(e, gpu=GPU):
+    return [o for o in check_kernel_entry("k", e, gpu) if not o.passed]
+
+
+class TestKernelInvariants:
+    def test_registry_is_populated(self):
+        assert len(KERNEL_INVARIANTS) >= 9
+
+    def test_consistent_entry_passes_everything(self):
+        assert failures(entry()) == []
+
+    def test_nan_counter_flagged(self):
+        e = entry()
+        e["counters"]["transactions"] = float("nan")
+        names = {o.name for o in failures(e)}
+        assert "counters-finite-nonnegative" in names
+
+    def test_negative_counter_flagged(self):
+        e = entry()
+        e["counters"]["bytes_requested"] = -1
+        names = {o.name for o in failures(e)}
+        assert "counters-finite-nonnegative" in names
+
+    def test_geometry_mismatch_flagged(self):
+        e = entry()
+        e["counters"]["threads"] = 999
+        assert any(o.name == "geometry-consistent" for o in failures(e))
+
+    def test_transactions_below_byte_floor_flagged(self):
+        e = entry()
+        # 8192 useful bytes cannot fit in 10 x 128B transactions
+        e["counters"]["transactions"] = 10
+        bad = failures(e)
+        assert any(o.name == "transactions-lower-bound" for o in bad)
+        assert any("lower bound" in o.detail for o in bad)
+
+    def test_bytes_beyond_broadcast_capacity_flagged(self):
+        e = entry()
+        e["counters"]["sectors_requested"] = 1
+        e["counters"]["bytes_requested"] = 32 * 32 * 2  # 2x the broadcast cap
+        assert any(o.name == "sectors-cover-bytes" for o in failures(e))
+
+    def test_broadcast_reuse_within_warp_width_allowed(self):
+        e = entry()
+        # every lane served from one sector: legal gld_efficiency > 1
+        e["counters"]["sectors_requested"] = 8
+        e["counters"]["bytes_requested"] = 8 * 32 * 32
+        e["counters"]["transactions"] = 64
+        e["metrics"]["gld_efficiency"] = 4.0
+        assert failures(e) == []
+
+    def test_occupancy_above_one_flagged(self):
+        e = entry()
+        e["metrics"]["achieved_occupancy"] = 1.4
+        assert any(o.name == "efficiencies-are-fractions" for o in failures(e))
+
+    def test_gld_efficiency_beyond_warp_width_flagged(self):
+        e = entry()
+        e["metrics"]["gld_efficiency"] = 33.0
+        assert any(o.name == "efficiencies-are-fractions" for o in failures(e))
+
+    def test_divergent_branches_beyond_total_flagged(self):
+        e = entry()
+        e["counters"]["divergent_branches"] = 11
+        assert any(o.name == "divergence-within-branches" for o in failures(e))
+
+    def test_conflict_passes_below_requests_flagged(self):
+        e = entry()
+        e["counters"]["shared_passes"] = 4  # fewer passes than requests
+        e["counters"]["bank_conflict_extra"] = 0
+        assert any(o.name == "bank-conflicts-only-add" for o in failures(e))
+
+    def test_dram_bypassing_l2_flagged(self):
+        e = entry()
+        e["traffic"]["dram_sectors"] = 1024  # more than l2_sectors
+        bad = failures(e)
+        assert any("traverse L2" in o.detail for o in bad)
+
+    def test_dram_byte_conservation_flagged(self):
+        e = entry()
+        e["traffic"]["dram_bytes"] = 999999
+        assert any("conservation" in o.detail for o in failures(e))
+
+    def test_negative_time_flagged(self):
+        e = entry(time_avg_s=-1.0)
+        assert any(o.name == "times-physical" for o in failures(e))
+
+
+class TestBenchRow:
+    ROW = {
+        "benchmark": "CoMem",
+        "baseline_time_s": 1.0,
+        "optimized_time_s": 0.5,
+        "speedup": 2.0,
+        "verified": True,
+    }
+
+    def test_consistent_row_passes(self):
+        (out,) = check_bench_row(self.ROW)
+        assert out.passed and out.name == "result-sanity"
+
+    def test_nan_time_fails(self):
+        (out,) = check_bench_row(dict(self.ROW, baseline_time_s=float("nan")))
+        assert not out.passed
+
+    def test_speedup_inconsistent_with_times_fails(self):
+        (out,) = check_bench_row(dict(self.ROW, speedup=7.0))
+        assert not out.passed
+        assert "inconsistent" in out.detail
+
+    def test_non_bool_verified_fails(self):
+        (out,) = check_bench_row(dict(self.ROW, verified="yes"))
+        assert not out.passed
+
+
+class TestSweepAndDocument:
+    def test_misaligned_series_fails(self):
+        (out,) = check_sweep(
+            {"x_values": [1, 2], "series": {"a": [1.0], "b": [1.0, 2.0]}}
+        )
+        assert not out.passed
+
+    def test_negative_point_fails(self):
+        (out,) = check_sweep(
+            {"x_values": [1, 2], "series": {"a": [1.0, -2.0]}}
+        )
+        assert not out.passed
+
+    def test_structurally_broken_document_fails_loudly(self):
+        outcomes = check_document({"schema": "repro-prof-metrics/1"})
+        assert len(outcomes) == 1
+        assert outcomes[0].kind == "structure" and not outcomes[0].passed
+
+    def test_live_run_document_passes(self, tmp_path):
+        from repro.core.registry import get_benchmark
+        from repro.prof import collect_metrics, profile_session
+
+        bench = get_benchmark("MemAlign")
+        with profile_session() as prof:
+            bench.run(n=65536)
+        checked = 0
+        for rt in prof.runtimes:
+            if not rt.kernel_log:
+                continue
+            doc = collect_metrics(rt, benchmark="MemAlign")
+            outcomes = check_document(doc, subject="MemAlign")
+            assert all(o.passed for o in outcomes), [
+                str(o) for o in outcomes if not o.passed
+            ]
+            checked += len(outcomes)
+        assert checked > 0
+
+
+class TestCacheAudit:
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            check_cache_dir(tmp_path / "nope")
+
+    def test_good_and_corrupt_entries(self, tmp_path):
+        sub = tmp_path / "ab"
+        sub.mkdir()
+        good = {
+            "schema": "repro-sched-cache/1",
+            "key": "ab" + "0" * 62,
+            "payload": {
+                "result": {
+                    "benchmark": "CoMem",
+                    "baseline_time_s": 1.0,
+                    "optimized_time_s": 0.5,
+                    "speedup": 2.0,
+                    "verified": True,
+                }
+            },
+        }
+        (sub / ("ab" + "0" * 62 + ".json")).write_text(json.dumps(good))
+        (sub / ("ab" + "1" * 62 + ".json")).write_text("{ not json")
+        outcomes = check_cache_dir(tmp_path)
+        assert any(o.passed and o.name == "result-sanity" for o in outcomes)
+        assert any(
+            not o.passed and o.name == "cache-entry" for o in outcomes
+        )

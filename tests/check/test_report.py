@@ -1,0 +1,55 @@
+"""Conformance report shape and rendering (``repro.check.report``)."""
+
+import json
+
+import pytest
+
+from repro.check.report import CheckOutcome, ConformanceReport
+
+
+def out(subject="CoMem", name="speedup", passed=True, kind="claim"):
+    return CheckOutcome(
+        kind=kind, subject=subject, name=name, passed=passed, detail="d"
+    )
+
+
+class TestReport:
+    def test_ok_only_when_nothing_failed(self):
+        r = ConformanceReport(title="t")
+        r.add(out())
+        assert r.ok
+        r.add(out(passed=False))
+        assert not r.ok
+        assert len(r.failures) == 1
+
+    def test_groups_by_subject_prefix(self):
+        r = ConformanceReport(title="t")
+        r.add(out(subject="CoMem/kernel_a", kind="invariant"))
+        r.add(out(subject="CoMem"))
+        assert set(r.by_subject()) == {"CoMem"}
+
+    def test_json_document_shape(self, tmp_path):
+        r = ConformanceReport(title="t")
+        r.add(out())
+        r.add(out(name="verified", passed=False))
+        path = r.write_json(tmp_path / "report.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-conformance/1"
+        assert doc["ok"] is False
+        assert doc["total"] == 2 and doc["failed"] == 1
+        assert doc["by_kind"]["claim"] == {"total": 2, "failed": 1}
+        assert len(doc["outcomes"]) == 2
+
+    def test_render_lists_failures_and_verdict(self):
+        r = ConformanceReport(title="t")
+        r.add(out())
+        r.add(out(subject="Shmem", name="verified", passed=False))
+        text = r.render()
+        assert "FAIL" in text and "Shmem" in text
+        assert "1 of 2 checks FAILED" in text
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown outcome kind"):
+            CheckOutcome(
+                kind="vibe", subject="s", name="n", passed=True, detail=""
+            )

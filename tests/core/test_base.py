@@ -1,0 +1,57 @@
+"""BenchResult serialization round-trip and validation."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.core.base import BenchResult
+
+ROW = {
+    "benchmark": "CoMem",
+    "system": "Carina (V100)",
+    "baseline_name": "block",
+    "optimized_name": "cyclic",
+    "baseline_time_s": 1.0,
+    "optimized_time_s": 0.5,
+    "speedup": 2.0,
+    "verified": True,
+    "params": {"n": 1024},
+    "metrics": {"x": 1.0},
+}
+
+
+class TestFromDict:
+    def test_roundtrip(self):
+        r = BenchResult.from_dict(ROW)
+        assert r.as_dict() == ROW
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ReproError, match="invalid baseline_time_s"):
+            BenchResult.from_dict(dict(ROW, baseline_time_s=float("nan")))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ReproError, match="invalid optimized_time_s"):
+            BenchResult.from_dict(dict(ROW, optimized_time_s=-1e-6))
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(ReproError, match="invalid baseline_time_s"):
+            BenchResult.from_dict(dict(ROW, baseline_time_s=float("inf")))
+
+    def test_non_numeric_time_rejected(self):
+        with pytest.raises(ReproError, match="non-numeric baseline_time_s"):
+            BenchResult.from_dict(dict(ROW, baseline_time_s="fast"))
+
+    def test_missing_time_rejected(self):
+        row = dict(ROW)
+        del row["optimized_time_s"]
+        with pytest.raises(ReproError, match="non-numeric optimized_time_s"):
+            BenchResult.from_dict(row)
+
+    def test_error_names_the_benchmark(self):
+        with pytest.raises(ReproError, match="'CoMem'"):
+            BenchResult.from_dict(dict(ROW, baseline_time_s=float("nan")))
+
+    def test_zero_time_allowed(self):
+        r = BenchResult.from_dict(
+            dict(ROW, optimized_time_s=0.0, speedup=float("inf"))
+        )
+        assert r.speedup == float("inf")

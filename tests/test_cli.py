@@ -286,6 +286,174 @@ class TestSchedulerFlags:
             main(["sweep", "BankRedux", "--jobs", "2"])
 
 
+class TestCliErrorPaths:
+    def test_unknown_benchmark_everywhere(self, capsys):
+        for argv in (
+            ["run", "NoSuchBench"],
+            ["sweep", "NoSuchBench", "--values", "16"],
+            ["check", "NoSuchBench"],
+        ):
+            assert main(argv) == 2, argv
+            assert "error:" in capsys.readouterr().err
+
+    def test_invalid_backend_rejected(self, capsys):
+        for argv in (
+            ["run", "MemAlign", "--backend", "turbo"],
+            ["check", "--all", "--backend", "turbo"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_unwritable_cache_dir_exits_two(self, capsys, tmp_path):
+        # a file where the cache directory should be: mkdir -> OSError
+        blocker = tmp_path / "cache"
+        blocker.write_text("not a directory")
+        rc = main([
+            "sweep", "BankRedux", "--values", "65536", "--jobs", "2",
+            "--cache-dir", str(blocker),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "not writable" in err and "--no-cache" in err
+
+    def test_malformed_metrics_json_to_prof_diff_exits_two(self, capsys, tmp_path):
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        good.write_text('{"schema": "repro-prof-metrics/1", "kernels": {}}')
+        bad.write_text("{ this is not json")
+        assert main(["prof", "diff", str(good), str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_metrics_json_to_prof_diff_exits_two(self, capsys, tmp_path):
+        good = tmp_path / "good.json"
+        wrong = tmp_path / "wrong.json"
+        good.write_text('{"schema": "repro-prof-metrics/1", "kernels": {}}')
+        wrong.write_text('{"some": "object"}')
+        assert main(["prof", "diff", str(good), str(wrong)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckCommand:
+    @staticmethod
+    def _write_doc(path, *, speedup=14.0, verified=True):
+        import json
+
+        path.write_text(json.dumps({
+            "schema": "repro-prof-bench/1",
+            "results": [{
+                "benchmark": "CoMem",
+                "baseline_name": "block",
+                "optimized_name": "cyclic",
+                "baseline_time_s": speedup * 0.1,
+                "optimized_time_s": 0.1,
+                "speedup": speedup,
+                "verified": verified,
+                "params": {"n": 4194304, "grid": 1024, "block": 256},
+                "metrics": {
+                    "block_transactions_per_request": 16.0,
+                    "cyclic_transactions_per_request": 1.0,
+                    "block_gld_efficiency": 0.125,
+                    "cyclic_gld_efficiency": 1.0,
+                },
+            }],
+        }))
+
+    def test_no_selection_exits_two(self, capsys):
+        assert main(["check"]) == 2
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_doc_mode_passes_on_conforming_document(self, capsys, tmp_path):
+        doc = tmp_path / "results.json"
+        self._write_doc(doc)
+        assert main(["check", "--doc", str(doc)]) == 0
+        out = capsys.readouterr().out
+        assert "conformance: OK" in out
+
+    def test_doc_mode_fails_on_broken_document(self, capsys, tmp_path):
+        doc = tmp_path / "results.json"
+        self._write_doc(doc, speedup=0.5)
+        assert main(["check", "--doc", str(doc)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL claim CoMem: speedup" in out
+        assert "18 (average)" in out  # the paper context in the report
+
+    def test_doc_mode_fails_on_unverified_result(self, capsys, tmp_path):
+        doc = tmp_path / "results.json"
+        self._write_doc(doc, verified=False)
+        assert main(["check", "--doc", str(doc)]) == 1
+        assert "DISAGREE" in capsys.readouterr().out
+
+    def test_json_report_written(self, capsys, tmp_path):
+        import json
+
+        doc = tmp_path / "results.json"
+        out_json = tmp_path / "report.json"
+        self._write_doc(doc)
+        assert main(["check", "--doc", str(doc), "--json", str(out_json)]) == 0
+        report = json.loads(out_json.read_text())
+        assert report["schema"] == "repro-conformance/1"
+        assert report["ok"] is True
+
+    def test_live_check_one_benchmark(self, capsys, tmp_path):
+        spec = tmp_path / "memalign.toml"
+        spec.write_text(
+            'schema = "repro-claims/1"\nbenchmark = "MemAlign"\n'
+            "[run]\nn = 65536\n"
+            '[[claims]]\nkind = "speedup"\nmin = 1.0\nmax = 1.2\n'
+            '[[claims]]\nkind = "verified"\n'
+        )
+        rc = main([
+            "check", "MemAlign", "--claims-dir", str(tmp_path),
+            "--backend", "reference", "--no-relations",
+        ])
+        assert rc == 0
+        assert "conformance: OK" in capsys.readouterr().out
+
+    def test_missing_claims_dir_exits_two(self, capsys, tmp_path):
+        rc = main(["check", "--all", "--claims-dir", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "claims directory not found" in capsys.readouterr().err
+
+
+class TestProfDiffClaims:
+    def _claim_file(self, tmp_path):
+        spec = tmp_path / "comem.toml"
+        spec.write_text(
+            'schema = "repro-claims/1"\nbenchmark = "CoMem"\n'
+            '[[claims]]\nkind = "speedup"\nmin = 8.0\nmax = 25.0\n'
+            '[[claims]]\nkind = "verified"\n'
+        )
+        return spec
+
+    def test_claims_pass_alongside_diff(self, capsys, tmp_path):
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        TestCheckCommand._write_doc(before)
+        TestCheckCommand._write_doc(after)
+        rc = main([
+            "prof", "diff", str(before), str(after),
+            "--claims", str(self._claim_file(tmp_path)),
+        ])
+        assert rc == 0
+        assert "paper claims on after.json: 2/2 pass" in capsys.readouterr().out
+
+    def test_failing_claim_is_a_regression(self, capsys, tmp_path):
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        TestCheckCommand._write_doc(before)
+        # after regresses to 7x: within the relative diff tolerance
+        # window? no -- but the absolute claim floor of 8x catches it
+        TestCheckCommand._write_doc(after, speedup=7.5)
+        rc = main([
+            "prof", "diff", str(before), str(after),
+            "--claims", str(self._claim_file(tmp_path)),
+            "--time-tolerance", "10.0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL claim CoMem: speedup" in out
+
+
 class TestProfDiffBenchDocs:
     def test_reports_removed_benchmark(self, capsys, tmp_path):
         import json

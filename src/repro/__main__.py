@@ -5,9 +5,13 @@ Usage examples::
     python -m repro list
     python -m repro table1
     python -m repro table1 --jobs 4 --backend fast
+    python -m repro table1 --jobs 4 --run-id nightly --out table1.json
+    python -m repro table1 --resume nightly --out table1.json
     python -m repro run CoMem --system carina -p n=4194304
     python -m repro sweep CoMem --values 262144,1048576,4194304
     python -m repro sweep CoMem --values 262144,1048576 --jobs 2 --out f9.json
+    python -m repro sweep CoMem --values 262144,1048576 --jobs 2 \
+        --chaos seed=7,crash=0.4,hang=0.2,max-fault-attempts=2 --job-timeout 10
     python -m repro specs
     python -m repro doctor CoMem
     python -m repro sanitize MemAlign --tool all
@@ -27,7 +31,12 @@ Exit codes: ``doctor`` and ``sanitize`` exit 1 when any critical
 finding is reported, ``prof diff`` exits 1 when a metric regresses
 beyond its threshold (or a ``--claims`` claim fails), ``check`` exits 1
 when any conformance check fails; every command exits 2 on a runtime
-error and 0 otherwise.
+error and 0 otherwise.  Supervised runs (``run``/``sweep``/``table1``/
+``check`` with ``--jobs`` or any resilience flag) add two more: 3 when
+the run completed only through a degradation fallback (fast backend
+re-run on the reference oracle, or the worker pool dropping to serial),
+and 4 when the run was interrupted (SIGINT/SIGTERM) with the completed
+work checkpointed to the run journal — finish it with ``--resume``.
 """
 
 from __future__ import annotations
@@ -81,10 +90,121 @@ def _make_cache(args: argparse.Namespace):
     return ResultCache(args.cache_dir, enabled=not args.no_cache)
 
 
+def _resilience_requested(args: argparse.Namespace) -> bool:
+    """Did any flag explicitly ask for the supervised scheduler?"""
+    return any(
+        getattr(args, name, None) is not None
+        for name in ("max_retries", "job_timeout", "resume", "run_id", "chaos")
+    )
+
+
+def _make_resilience(args: argparse.Namespace, *, command: str):
+    """Build the supervision policy (and run journal) from CLI flags."""
+    from repro.resilience import ResilienceConfig, RunJournal, parse_chaos
+
+    chaos = parse_chaos(args.chaos) if getattr(args, "chaos", None) else None
+    journal = None
+    if not getattr(args, "no_journal", False):
+        if getattr(args, "resume", None):
+            journal = RunJournal.resume(args.journal_dir, args.resume)
+        else:
+            journal = RunJournal.create(
+                args.journal_dir,
+                run_id=getattr(args, "run_id", None),
+                meta={"command": command},
+            )
+    kwargs: dict[str, Any] = {}
+    if getattr(args, "max_retries", None) is not None:
+        kwargs["max_retries"] = args.max_retries
+    if getattr(args, "job_timeout", None) is not None:
+        kwargs["job_timeout_s"] = args.job_timeout
+    return ResilienceConfig(chaos=chaos, journal=journal, **kwargs)
+
+
+def _sigterm_as_interrupt():
+    """Translate SIGTERM into KeyboardInterrupt around a scheduler run,
+    so a polite kill flushes the journal and exits 4 just like Ctrl-C."""
+    import signal
+    import threading
+    from contextlib import contextmanager, nullcontext
+
+    if (
+        not hasattr(signal, "SIGTERM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return nullcontext()
+
+    @contextmanager
+    def _scope():
+        def _raise(signum, frame):
+            raise KeyboardInterrupt
+
+        old = signal.signal(signal.SIGTERM, _raise)
+        try:
+            yield
+        finally:
+            signal.signal(signal.SIGTERM, old)
+
+    return _scope()
+
+
+def _interrupted(resilience) -> int:
+    """Exit code 4: interrupted, journal flushed, partial results saved."""
+    tele = resilience.telemetry
+    if resilience.journal is not None:
+        run_id = resilience.journal.run_id
+        resilience.journal.close()
+        print(
+            f"interrupted: {tele.completed} completed job(s) saved to "
+            f"journal run {run_id}; finish with --resume {run_id}",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "interrupted: journaling disabled (--no-journal), partial "
+            "results discarded",
+            file=sys.stderr,
+        )
+    return 4
+
+
+def _sched_status(status: int, resilience) -> int:
+    """Map a command's natural exit through the degradation ladder.
+
+    A run that finished only via a fallback (fast backend re-run on the
+    reference oracle, pool dropped to serial) exits 3 instead of 0 —
+    results are valid but the configuration asked for did not hold.
+    """
+    if resilience is not None:
+        if resilience.journal is not None:
+            resilience.journal.close()
+        if status == 0 and resilience.telemetry.degraded:
+            return 3
+    return status
+
+
+def _execution_section(resilience) -> dict[str, Any]:
+    """The result document's ``execution`` section.
+
+    Present only when the run degraded, so clean documents stay
+    byte-identical across serial/parallel/cold/warm/resumed runs while
+    a fallback (the one case where the configuration asked for was not
+    what actually ran) is recorded next to the results it produced.
+    """
+    if resilience is None or not resilience.telemetry.fallbacks:
+        return {}
+    tele = resilience.telemetry
+    return {
+        "execution": {"mode": tele.mode, "fallbacks": list(tele.fallbacks)}
+    }
+
+
 def _write_sched_stats(
-    args: argparse.Namespace, cache, *, benchmark: str, jobs: int
+    args: argparse.Namespace, cache, *, benchmark: str, jobs: int,
+    resilience=None,
 ) -> None:
-    """Write the ``--stats`` sidecar: backend + cache-hit counters.
+    """Write the ``--stats`` sidecar: backend, cache, and supervision
+    counters.
 
     Kept separate from ``--out`` so result documents stay byte-identical
     across cold/warm and serial/parallel runs while the scheduler's
@@ -103,6 +223,8 @@ def _write_sched_stats(
         "jobs": jobs,
         "cache": cache.stats() if cache is not None else None,
     }
+    if resilience is not None:
+        doc["execution"] = resilience.telemetry.as_dict()
     path = Path(args.stats)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(doc, indent=2) + "\n")
@@ -126,17 +248,33 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_table1(args: argparse.Namespace) -> int:
     cache = None
+    resilience = None
     with _backend_scope(args):
-        if args.jobs > 1:
+        if args.jobs > 1 or _resilience_requested(args):
             from repro.sched import parallel_suite
 
             cache = _make_cache(args)
-            report = parallel_suite(jobs=args.jobs, cache=cache)
+            resilience = _make_resilience(args, command="table1")
+            try:
+                with _sigterm_as_interrupt():
+                    report = parallel_suite(
+                        jobs=args.jobs, cache=cache, resilience=resilience
+                    )
+            except KeyboardInterrupt:
+                return _interrupted(resilience)
         else:
             report = run_suite()
     print(report.render())
-    _write_sched_stats(args, cache, benchmark="table1", jobs=args.jobs)
-    return 0 if report.all_verified else 1
+    if args.out:
+        from repro.prof import write_metrics
+
+        doc = report.as_dict()
+        doc.update(_execution_section(resilience))
+        print(f"table written to {write_metrics(args.out, doc)}")
+    _write_sched_stats(
+        args, cache, benchmark="table1", jobs=args.jobs, resilience=resilience
+    )
+    return _sched_status(0 if report.all_verified else 1, resilience)
 
 
 def _profiled(args: argparse.Namespace):
@@ -172,12 +310,40 @@ def _export_profile(prof, args: argparse.Namespace, benchmark: str, params) -> N
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    system = get_system(args.system) if args.system else None
     params = _parse_params(args.param)
-    with _backend_scope(args):
-        bench = get_benchmark(args.benchmark, system)
-        with _profiled(args) as prof:
-            result = bench.run(**params)
+    resilience = None
+    if _resilience_requested(args):
+        if args.trace or args.json or args.ndjson:
+            print(
+                "note: --trace/--json/--ndjson are not collected when a "
+                "run is supervised; rerun without resilience flags to "
+                "profile",
+                file=sys.stderr,
+            )
+        from repro.core.base import BenchResult
+        from repro.exec import current_backend_name
+        from repro.sched import JobSpec, run_jobs
+
+        resilience = _make_resilience(args, command="run")
+        spec = JobSpec(
+            benchmark=args.benchmark,
+            params=params,
+            system=args.system,
+            backend=current_backend_name(getattr(args, "backend", None)),
+        )
+        try:
+            with _sigterm_as_interrupt():
+                payloads = run_jobs([spec], resilience=resilience)
+        except KeyboardInterrupt:
+            return _interrupted(resilience)
+        result = BenchResult.from_dict(payloads[0]["result"])
+        prof = None
+    else:
+        system = get_system(args.system) if args.system else None
+        with _backend_scope(args):
+            bench = get_benchmark(args.benchmark, system)
+            with _profiled(args) as prof:
+                result = bench.run(**params)
     print(result)
     if result.metrics:
         print("metrics:")
@@ -186,7 +352,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if result.notes:
         print(result.notes)
     _export_profile(prof, args, args.benchmark, params)
-    return 0 if result.verified else 1
+    return _sched_status(0 if result.verified else 1, resilience)
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -195,9 +361,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     params = _parse_params(args.param)
     cache = None
-    if args.jobs > 1:
+    resilience = None
+    if args.jobs > 1 or _resilience_requested(args):
         if values is None:
-            raise SystemExit("--jobs needs explicit --values to decompose")
+            raise SystemExit(
+                "--jobs and the resilience flags need explicit --values "
+                "to decompose the sweep into jobs"
+            )
         if args.trace or args.json or args.ndjson:
             print(
                 "note: --trace/--json/--ndjson only observe the parent "
@@ -207,15 +377,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         from repro.sched import parallel_sweep
 
         cache = _make_cache(args)
-        sweep = parallel_sweep(
-            args.benchmark,
-            values,
-            params=params,
-            system=args.system,
-            backend=getattr(args, "backend", None),
-            jobs=args.jobs,
-            cache=cache,
-        )
+        resilience = _make_resilience(args, command="sweep")
+        try:
+            with _sigterm_as_interrupt():
+                sweep = parallel_sweep(
+                    args.benchmark,
+                    values,
+                    params=params,
+                    system=args.system,
+                    backend=getattr(args, "backend", None),
+                    jobs=args.jobs,
+                    cache=cache,
+                    resilience=resilience,
+                )
+        except KeyboardInterrupt:
+            return _interrupted(resilience)
         prof = None
     else:
         system = get_system(args.system) if args.system else None
@@ -233,10 +409,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "params": params,
             "sweep": sweep.as_dict(),
         }
+        doc.update(_execution_section(resilience))
         print(f"sweep results written to {write_metrics(args.out, doc)}")
-    _write_sched_stats(args, cache, benchmark=args.benchmark, jobs=args.jobs)
+    _write_sched_stats(
+        args, cache, benchmark=args.benchmark, jobs=args.jobs,
+        resilience=resilience,
+    )
     _export_profile(prof, args, args.benchmark, params)
-    return 0
+    return _sched_status(0, resilience)
 
 
 def cmd_specs(_args: argparse.Namespace) -> int:
@@ -398,6 +578,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         load_claims_dir,
     )
 
+    resilience = None
     if args.doc:
         from repro.prof import load_metrics
 
@@ -417,19 +598,29 @@ def cmd_check(args: argparse.Namespace) -> int:
             raise ReproError(
                 "nothing to check: name benchmarks, or pass --all / --doc"
             )
-        report = check_all(
-            benchmarks=args.benchmarks or None,
-            claims_dir=args.claims_dir,
-            backend=args.backend,
-            quick=args.quick,
-            relations=not args.no_relations,
-            system=args.system,
+        resilience = (
+            _make_resilience(args, command="check")
+            if _resilience_requested(args)
+            else None
         )
+        try:
+            with _sigterm_as_interrupt():
+                report = check_all(
+                    benchmarks=args.benchmarks or None,
+                    claims_dir=args.claims_dir,
+                    backend=args.backend,
+                    quick=args.quick,
+                    relations=not args.no_relations,
+                    system=args.system,
+                    resilience=resilience,
+                )
+        except KeyboardInterrupt:
+            return _interrupted(resilience)
     print(report.render())
     if args.json:
         path = report.write_json(args.json)
         print(f"conformance report written to {path}")
-    return 0 if report.ok else 1
+    return _sched_status(0 if report.ok else 1, resilience)
 
 
 def cmd_prof_roofline(args: argparse.Namespace) -> int:
@@ -558,12 +749,50 @@ def build_parser() -> argparse.ArgumentParser:
             "--stats", help="write scheduler/cache statistics JSON here"
         )
 
+    def add_resilience_flags(sp: argparse.ArgumentParser) -> None:
+        from repro.resilience import DEFAULT_JOURNAL_DIR
+
+        sp.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            help="retries per failing job before it is quarantined "
+            "(default 2)",
+        )
+        sp.add_argument(
+            "--job-timeout", type=float, default=None, metavar="SECONDS",
+            help="wall-clock budget per job; a job past it is killed and "
+            "retried",
+        )
+        sp.add_argument(
+            "--resume", metavar="RUN_ID",
+            help="resume an interrupted run from its journal, skipping "
+            "already-completed jobs",
+        )
+        sp.add_argument(
+            "--run-id", metavar="RUN_ID",
+            help="journal id for this run (default: random)",
+        )
+        sp.add_argument(
+            "--journal-dir", default=DEFAULT_JOURNAL_DIR,
+            help=f"run-journal directory (default {DEFAULT_JOURNAL_DIR})",
+        )
+        sp.add_argument(
+            "--no-journal", action="store_true",
+            help="disable checkpointing (an interrupted run saves nothing)",
+        )
+        sp.add_argument(
+            "--chaos", metavar="SPEC",
+            help="deterministic scheduler fault injection, e.g. "
+            "'seed=7,crash=0.4,hang=0.2,payload=0.3,max-fault-attempts=2'",
+        )
+
     sub.add_parser("list", help="list the fourteen microbenchmarks").set_defaults(
         fn=cmd_list
     )
     table1_p = sub.add_parser("table1", help="run the full suite and print Table I")
+    table1_p.add_argument("--out", help="write the Table I result document here")
     add_backend_flag(table1_p)
     add_sched_flags(table1_p)
+    add_resilience_flags(table1_p)
     table1_p.set_defaults(fn=cmd_table1)
     sub.add_parser("specs", help="show the preset GPU architectures").set_defaults(
         fn=cmd_specs
@@ -582,6 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend_flag(run_p)
     add_export_flags(run_p)
+    add_resilience_flags(run_p)
     run_p.set_defaults(fn=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="regenerate a benchmark's figure sweep")
@@ -594,6 +824,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--out", help="write the sweep result document here")
     add_backend_flag(sweep_p)
     add_sched_flags(sweep_p)
+    add_resilience_flags(sweep_p)
     add_export_flags(sweep_p)
     sweep_p.set_defaults(fn=cmd_sweep)
 
@@ -681,6 +912,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_p.add_argument("--system", help="carina | fornax | rtx3080")
     check_p.add_argument("--json", help="write the conformance report JSON here")
+    add_resilience_flags(check_p)
     check_p.set_defaults(fn=cmd_check)
 
     doc_p = sub.add_parser(

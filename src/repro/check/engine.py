@@ -12,7 +12,7 @@ fast path still reproduce the paper.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.arch.presets import get_system
 from repro.check.claims import (
@@ -27,6 +27,9 @@ from repro.check.report import CheckOutcome, ConformanceReport
 from repro.common.errors import ReproError
 from repro.core.registry import get_benchmark
 from repro.exec import use_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.supervisor import ResilienceConfig
 
 __all__ = ["check_benchmark", "check_all", "DEFAULT_BACKENDS"]
 
@@ -104,6 +107,161 @@ def check_benchmark(
     return outcomes
 
 
+def _unit_fingerprint(
+    spec: ClaimSpec, *, backend: str, quick: bool, system: str | None
+) -> str:
+    """Stable identity of one (claim file × backend) conformance unit.
+
+    Hashes the benchmark's source fingerprint alongside the unit's
+    switches, so a ``--resume`` never replays outcomes across a code,
+    backend, or configuration change.
+    """
+    import hashlib
+
+    from repro.sched.cache import _canonical, source_fingerprint
+
+    sysname = system or spec.system
+    bench = get_benchmark(
+        spec.benchmark, get_system(sysname) if sysname else None
+    )
+    material = {
+        "domain": "repro-check-unit",
+        "benchmark": spec.benchmark,
+        "sources": source_fingerprint(type(bench)),
+        "backend": backend,
+        "quick": quick,
+        "system": sysname,
+    }
+    return hashlib.sha256(_canonical(material).encode()).hexdigest()
+
+
+def _check_supervised(
+    report: ConformanceReport,
+    selected: Sequence[ClaimSpec],
+    backends: Sequence[str],
+    *,
+    quick: bool,
+    system: str | None,
+    config: "ResilienceConfig",
+) -> None:
+    """Run the (backend × claim file) units under the resilience policy.
+
+    Conformance outcomes are built in-process, so the worker pool cannot
+    isolate them; supervision here is serial-grade — the shared retry/
+    backoff policy, :func:`wall_clock_limit` for the per-unit timeout,
+    journal checkpoints (one outcome list per unit) for ``--resume``,
+    and simulated chaos keyed on the unit ordinal.
+    """
+    import time
+
+    from repro.check.report import CheckOutcome
+    from repro.resilience.supervisor import (
+        _MAX_REAL_BACKOFF_S,
+        JobTimeout,
+        QuarantineError,
+        WorkerCrash,
+        _emit,
+        wall_clock_limit,
+    )
+
+    tele = config.telemetry
+    tele.mode = "serial"
+    chaos = config.chaos
+    journal = config.journal
+    hub = config.hub
+    if journal is not None:
+        tele.journal_run_id = journal.run_id
+
+    units = [(be, spec) for be in backends for spec in selected]
+    for ordinal, (be, spec) in enumerate(units):
+        fp = (
+            _unit_fingerprint(spec, backend=be, quick=quick, system=system)
+            if journal is not None
+            else None
+        )
+        if fp is not None and fp in journal.completed:
+            tele.resume_skips += 1
+            _emit(hub, "resume-skip", benchmark=spec.benchmark, job=ordinal)
+            report.extend(
+                CheckOutcome.from_dict(d) for d in journal.completed[fp]
+            )
+            continue
+        subject = f"check {spec.benchmark} [{be}]"
+        outcomes: list[CheckOutcome] | None = None
+        attempts = 0
+        while True:
+            try:
+                action = (
+                    chaos.worker_outcome(ordinal, attempts)
+                    if chaos is not None
+                    else "ok"
+                )
+                if action == "crash":
+                    raise WorkerCrash(
+                        f"injected crash (check unit {ordinal})"
+                    )
+                if action == "hang":
+                    raise JobTimeout(f"injected hang (check unit {ordinal})")
+                with wall_clock_limit(config.job_timeout_s, subject):
+                    outcomes = check_benchmark(
+                        spec, backend=be, quick=quick, system=system
+                    )
+                break
+            except ReproError as exc:
+                what = dict(benchmark=spec.benchmark, job=ordinal)
+                if isinstance(exc, JobTimeout):
+                    tele.timeouts += 1
+                    _emit(hub, "timeout", **what, error=str(exc))
+                elif isinstance(exc, WorkerCrash):
+                    tele.crashes += 1
+                    _emit(hub, "worker-crash", **what, error=str(exc))
+                else:
+                    tele.job_errors += 1
+                    _emit(hub, "job-error", **what, error=str(exc))
+                attempts += 1
+                if attempts > config.max_retries:
+                    tele.quarantined.append(
+                        {**what, "attempts": attempts, "error": str(exc)}
+                    )
+                    _emit(hub, "quarantine", **what, attempts=attempts)
+                    break
+                retry = attempts - 1
+                u = (
+                    chaos.retry_jitter(ordinal, retry)
+                    if chaos is not None
+                    else 0.0
+                )
+                delay = config.retry_policy.backoff(retry, u)
+                tele.retries += 1
+                _emit(hub, "retry", **what, attempt=attempts, backoff_s=delay)
+                time.sleep(min(delay, _MAX_REAL_BACKOFF_S))
+        if outcomes is None:
+            continue
+        report.extend(outcomes)
+        if journal is not None:
+            journal.record(
+                fp,
+                [o.as_dict() for o in outcomes],
+                meta={"benchmark": spec.benchmark, "backend": be},
+            )
+        tele.completed += 1
+        if chaos is not None and chaos.interrupts_after(tele.completed):
+            raise KeyboardInterrupt
+    if tele.quarantined:
+        names = ", ".join(
+            f"{q['benchmark']}#{q['job']}" for q in tele.quarantined
+        )
+        hint = (
+            f"; completed units are journaled as run {journal.run_id}"
+            if journal is not None
+            else ""
+        )
+        raise QuarantineError(
+            f"{len(tele.quarantined)} check unit(s) quarantined after "
+            f"retry exhaustion: {names}{hint}"
+        )
+
+
 def check_all(
     *,
     benchmarks: Sequence[str] | None = None,
@@ -112,12 +270,17 @@ def check_all(
     quick: bool = False,
     relations: bool = True,
     system: str | None = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> ConformanceReport:
     """Run the full conformance pass and return the report.
 
     ``benchmarks`` restricts the pass to named Table I entries (all
     entries with claim files otherwise); ``backend`` is ``reference``,
     ``fast``, or ``None``/``both`` for the two-backend matrix.
+    ``resilience`` supervises the per-(backend × claim file) units:
+    retries with backoff, per-unit wall-clock timeouts, and journal
+    checkpoints so an interrupted pass resumes without re-running
+    completed units.
     """
     specs = load_claims_dir(claims_dir)
     if benchmarks:
@@ -135,11 +298,19 @@ def check_all(
     report = ConformanceReport(
         title=f"paper-claims conformance ({', '.join(backends)})"
     )
-    for be in backends:
-        for spec in selected:
-            report.extend(
-                check_benchmark(spec, backend=be, quick=quick, system=system)
-            )
+    if resilience is not None:
+        _check_supervised(
+            report, selected, backends,
+            quick=quick, system=system, config=resilience,
+        )
+    else:
+        for be in backends:
+            for spec in selected:
+                report.extend(
+                    check_benchmark(
+                        spec, backend=be, quick=quick, system=system
+                    )
+                )
     if relations:
         report.extend(run_relations(backends=backends))
     return report

@@ -421,6 +421,10 @@ def check_cache_dir(cache_dir: str | Path) -> list[CheckOutcome]:
         raise ReproError(f"cache directory not found: {root}")
     outcomes: list[CheckOutcome] = []
     for path in sorted(root.glob("*/*.json")):
+        if path.parent.name == "quarantine":
+            # already detected, moved aside, and recomputed by the
+            # cache itself — not a live entry
+            continue
         label = f"cache:{path.name[:12]}"
         try:
             entry = json.loads(path.read_text())
@@ -435,6 +439,24 @@ def check_cache_dir(cache_dir: str | Path) -> list[CheckOutcome]:
                 )
             )
             continue
+        stored = entry.get("sha256")
+        if stored is not None:
+            from repro.sched.cache import _payload_checksum
+
+            actual = _payload_checksum(entry.get("payload"))
+            outcomes.append(
+                CheckOutcome(
+                    kind="structure",
+                    subject=label,
+                    name="cache-checksum",
+                    passed=actual == stored,
+                    detail=""
+                    if actual == stored
+                    else f"{path}: payload checksum mismatch",
+                )
+            )
+            if actual != stored:
+                continue
         payload = entry.get("payload", {})
         result = payload.get("result")
         if isinstance(result, Mapping):

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 from repro.common.tables import render_table
 
@@ -55,6 +55,22 @@ class CheckOutcome:
             "detail": self.detail,
             "backend": self.backend,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CheckOutcome":
+        """Rebuild an outcome from its :meth:`as_dict` form.
+
+        The run journal checkpoints completed ``repro check`` units as
+        outcome lists; ``--resume`` replays them through here.
+        """
+        return cls(
+            kind=data["kind"],
+            subject=data["subject"],
+            name=data["name"],
+            passed=bool(data["passed"]),
+            detail=data.get("detail", ""),
+            backend=data.get("backend", ""),
+        )
 
     def __str__(self) -> str:
         mark = "PASS" if self.passed else "FAIL"

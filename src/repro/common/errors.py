@@ -28,6 +28,7 @@ __all__ = [
     "WatchdogTimeout",
     "SanitizerError",
     "SpecError",
+    "BackendDivergenceError",
     "cuda_error_name",
 ]
 
@@ -97,12 +98,24 @@ class SanitizerError(ReproError):
     """
 
 
+class BackendDivergenceError(ReproError):
+    """The fast execution backend disagreed with the reference oracle.
+
+    The differential suite keeps the two backends bit-identical, so in
+    normal operation this never fires; it exists as the typed signal a
+    self-check (or the scheduler chaos plan) raises so the supervised
+    scheduler can re-run the job on the reference backend — the
+    "degrade to the oracle" rung of the resilience ladder.
+    """
+
+
 #: cudaError_t analog for each error family, most-derived classes first
 #: (lookup walks the MRO, so subclasses inherit their family's code
 #: unless they have an entry of their own).
 _CUDA_ERROR_NAMES: dict[type, str] = {
     WatchdogTimeout: "cudaErrorLaunchTimeout",
     SanitizerError: "cudaErrorAssert",
+    BackendDivergenceError: "cudaErrorUnknown",
     LaunchConfigError: "cudaErrorInvalidConfiguration",
     AllocationError: "cudaErrorMemoryAllocation",
     InvalidAddressError: "cudaErrorIllegalAddress",

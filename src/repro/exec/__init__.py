@@ -1,5 +1,6 @@
 """Execution backends: reference oracle vs. residue-class fast path."""
 
+from repro.common.errors import BackendDivergenceError
 from repro.exec.dispatch import (
     BACKENDS,
     ExecCounters,
@@ -13,6 +14,7 @@ from repro.exec.fastpath import analyze_access_fast, analyze_shared_access_fast
 
 __all__ = [
     "BACKENDS",
+    "BackendDivergenceError",
     "ExecCounters",
     "FastDispatch",
     "ReferenceDispatch",

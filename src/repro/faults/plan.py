@@ -27,20 +27,42 @@ from repro.common.errors import ReproError
 __all__ = ["FaultPlan", "FaultLog", "RetryPolicy"]
 
 #: Domain tags keying the per-decision RNG streams.
-_DOMAINS = {"h2d": 1, "d2h": 2, "corrupt": 3, "stall": 5}
+_DOMAINS = {
+    "h2d": 1,
+    "d2h": 2,
+    "corrupt": 3,
+    "stall": 5,
+    "worker": 7,
+    "payload": 11,
+    "cache": 13,
+    "jitter": 17,
+}
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded exponential backoff for transient transfer faults."""
+    """Bounded exponential backoff (with optional jitter) for retries.
+
+    Used for transient transfer faults at the runtime layer and for
+    failed jobs at the scheduler layer.  ``jitter_frac`` spreads the
+    backoff by up to that fraction of its nominal value; the caller
+    supplies the uniform draw ``u`` so jitter stays deterministic
+    (the scheduler keys it on ``(seed, job, retry)``).
+    """
 
     max_attempts: int = 4          #: total tries, including the first
     backoff_s: float = 100e-6      #: simulated delay before retry 1
     multiplier: float = 2.0        #: backoff growth per retry
+    jitter_frac: float = 0.0       #: max extra fraction added per retry
 
-    def backoff(self, retry: int) -> float:
-        """Simulated backoff delay before the given retry (0-based)."""
-        return self.backoff_s * self.multiplier**retry
+    def backoff(self, retry: int, u: float = 0.0) -> float:
+        """Backoff delay before the given retry (0-based).
+
+        ``u`` is a uniform [0, 1) draw scaling the jitter term; the
+        default 0.0 reproduces the jitterless schedule.
+        """
+        base = self.backoff_s * self.multiplier**retry
+        return base * (1.0 + self.jitter_frac * u)
 
 
 @dataclass
@@ -100,6 +122,32 @@ class FaultPlan:
     watchdog_cycles:
         Issue-cycle budget per kernel; exceeded → WatchdogTimeout.
         (Also settable directly on the runtime.)
+    worker_crash_prob, worker_hang_prob:
+        Scheduler-layer chaos: per-attempt probability that a sweep
+        worker crashes (hard exit, no result) or hangs (sleeps past any
+        job timeout).  Decisions are keyed on ``(job ordinal, attempt)``
+        so they are independent of pool completion order.
+    payload_corrupt_prob:
+        Per-attempt probability the worker's result payload arrives
+        truncated or corrupted (torn-IPC analog); the supervisor
+        discards it and retries.
+    cache_corrupt_prob:
+        Per-read probability that a result-cache entry is torn on disk
+        before the read (the quarantine-and-recompute path).
+    sched_fault_attempts:
+        Scheduler chaos only fires on attempt indices below this bound,
+        so ``worker_crash_prob=1.0, sched_fault_attempts=1``
+        deterministically crashes the first attempt of every job and
+        lets the retry succeed.  ``None`` leaves every attempt eligible
+        (retry exhaustion → quarantine).
+    interrupt_after_jobs:
+        Raise ``KeyboardInterrupt`` in the scheduler after this many
+        completed (journaled) jobs — the deterministic SIGINT analog
+        used by the interrupt-and-resume tests.
+    divergence_jobs:
+        0-based job ordinals whose fast-backend execution raises
+        :class:`~repro.common.errors.BackendDivergenceError`, driving
+        the automatic re-run on the reference backend.
     """
 
     def __init__(
@@ -115,18 +163,35 @@ class FaultPlan:
         stall_every: int | None = None,
         stall_seconds: float = 1e-3,
         watchdog_cycles: float | None = None,
+        worker_crash_prob: float = 0.0,
+        worker_hang_prob: float = 0.0,
+        payload_corrupt_prob: float = 0.0,
+        cache_corrupt_prob: float = 0.0,
+        sched_fault_attempts: int | None = None,
+        interrupt_after_jobs: int | None = None,
+        divergence_jobs: tuple[int, ...] | list[int] | None = None,
     ) -> None:
         for name, p in (
             ("h2d_fail_prob", h2d_fail_prob),
             ("d2h_fail_prob", d2h_fail_prob),
             ("corrupt_prob", corrupt_prob),
+            ("worker_crash_prob", worker_crash_prob),
+            ("worker_hang_prob", worker_hang_prob),
+            ("payload_corrupt_prob", payload_corrupt_prob),
+            ("cache_corrupt_prob", cache_corrupt_prob),
         ):
             if not 0.0 <= p <= 1.0:
                 raise ReproError(f"{name} must be in [0, 1], got {p}")
         if max(h2d_fail_prob, d2h_fail_prob) + corrupt_prob > 1.0:
             raise ReproError("fail probability + corrupt_prob must not exceed 1")
+        if worker_crash_prob + worker_hang_prob > 1.0:
+            raise ReproError("worker crash + hang probability must not exceed 1")
         if stall_every is not None and stall_every <= 0:
             raise ReproError(f"stall_every must be positive, got {stall_every}")
+        if interrupt_after_jobs is not None and interrupt_after_jobs <= 0:
+            raise ReproError(
+                f"interrupt_after_jobs must be positive, got {interrupt_after_jobs}"
+            )
         self.seed = int(seed)
         self.alloc_fail_after_bytes = alloc_fail_after_bytes
         self.h2d_fail_prob = h2d_fail_prob
@@ -137,6 +202,13 @@ class FaultPlan:
         self.stall_every = stall_every
         self.stall_seconds = stall_seconds
         self.watchdog_cycles = watchdog_cycles
+        self.worker_crash_prob = worker_crash_prob
+        self.worker_hang_prob = worker_hang_prob
+        self.payload_corrupt_prob = payload_corrupt_prob
+        self.cache_corrupt_prob = cache_corrupt_prob
+        self.sched_fault_attempts = sched_fault_attempts
+        self.interrupt_after_jobs = interrupt_after_jobs
+        self.divergence_jobs = tuple(divergence_jobs or ())
         self.reset()
 
     def reset(self) -> None:
@@ -197,6 +269,69 @@ class FaultPlan:
         if self.stall_every and (op_ordinal + 1) % self.stall_every == 0:
             return self.stall_seconds
         return 0.0
+
+    # -- scheduler-layer chaos -----------------------------------------
+    # These decisions are *pure functions* of (seed, domain, job
+    # ordinal, attempt) rather than draws from a sequential counter
+    # stream: a supervised pool completes jobs in nondeterministic
+    # order, and keying on the job keeps the injected fault schedule
+    # identical across pool widths, serial fallback, and resumes.
+
+    def _keyed(self, domain: str, ordinal: int, attempt: int) -> float:
+        return float(
+            np.random.default_rng(
+                [self.seed, _DOMAINS[domain], ordinal, attempt]
+            ).random()
+        )
+
+    def _sched_armed(self, attempt: int) -> bool:
+        return (
+            self.sched_fault_attempts is None
+            or attempt < self.sched_fault_attempts
+        )
+
+    def worker_outcome(self, ordinal: int, attempt: int) -> str:
+        """``"ok"`` | ``"crash"`` | ``"hang"`` for one job attempt."""
+        if self.worker_crash_prob == 0.0 and self.worker_hang_prob == 0.0:
+            return "ok"
+        if not self._sched_armed(attempt):
+            return "ok"
+        u = self._keyed("worker", ordinal, attempt)
+        if u < self.worker_crash_prob:
+            return "crash"
+        if u < self.worker_crash_prob + self.worker_hang_prob:
+            return "hang"
+        return "ok"
+
+    def payload_outcome(self, ordinal: int, attempt: int) -> str:
+        """``"ok"`` | ``"truncate"`` | ``"corrupt"`` for one result payload."""
+        if self.payload_corrupt_prob == 0.0 or not self._sched_armed(attempt):
+            return "ok"
+        u = self._keyed("payload", ordinal, attempt)
+        if u < self.payload_corrupt_prob:
+            return "truncate" if u < self.payload_corrupt_prob / 2 else "corrupt"
+        return "ok"
+
+    def cache_read_corrupts(self, ordinal: int) -> bool:
+        """Should the cache entry read for this job be torn on disk?"""
+        if self.cache_corrupt_prob == 0.0:
+            return False
+        return self._keyed("cache", ordinal, 0) < self.cache_corrupt_prob
+
+    def job_diverges(self, ordinal: int) -> bool:
+        """Does the fast-backend execution of this job diverge?"""
+        return ordinal in self.divergence_jobs
+
+    def interrupts_after(self, completed_jobs: int) -> bool:
+        """Simulated SIGINT once this many jobs have been journaled."""
+        return (
+            self.interrupt_after_jobs is not None
+            and completed_jobs >= self.interrupt_after_jobs
+        )
+
+    def retry_jitter(self, ordinal: int, attempt: int) -> float:
+        """Uniform [0,1) draw feeding :meth:`RetryPolicy.backoff` jitter."""
+        return self._keyed("jitter", ordinal, attempt)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"FaultPlan(seed={self.seed})"

@@ -29,11 +29,14 @@ Record kinds
 ``counter``    per-kernel metric sample (occupancy, efficiencies)
 ``fault``      the fault injector fired or recovered
 ``sanitizer``  a compute-sanitizer analog finding was raised
+``sched``      the supervised scheduler acted: a retry, a job timeout,
+               a worker crash, a degradation fallback, a resume skip,
+               or a quarantine
 =============  ======================================================
 
 Timed kinds carry device-clock ``start``/``end`` seconds; driver-phase
-kinds (``launch``, ``fault``, ``sanitizer``) carry ``None`` and rely on
-``seq``, the global emission ordinal, for ordering.
+kinds (``launch``, ``fault``, ``sanitizer``, ``sched``) carry ``None``
+and rely on ``seq``, the global emission ordinal, for ordering.
 """
 
 from __future__ import annotations
@@ -54,6 +57,7 @@ KINDS = (
     "counter",
     "fault",
     "sanitizer",
+    "sched",
 )
 
 

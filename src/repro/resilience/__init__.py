@@ -1,0 +1,47 @@
+"""Resilient scheduling: supervision, checkpoint/resume, degradation.
+
+The production-hardening layer over :mod:`repro.sched`: a supervised
+worker pool (:mod:`~repro.resilience.supervisor`), an append-only
+NDJSON run journal for checkpoint/resume
+(:mod:`~repro.resilience.journal`), and the ``--chaos`` grammar that
+drives deterministic scheduler-layer fault injection
+(:mod:`~repro.resilience.chaos`).  See ``docs/resilience.md``.
+"""
+
+from repro.resilience.chaos import parse_chaos
+from repro.resilience.journal import (
+    DEFAULT_JOURNAL_DIR,
+    JOURNAL_SCHEMA,
+    RunJournal,
+    job_fingerprint,
+    new_run_id,
+)
+from repro.resilience.supervisor import (
+    HANG_SLEEP_S,
+    JobTimeout,
+    PayloadCorruption,
+    QuarantineError,
+    ResilienceConfig,
+    SchedTelemetry,
+    WorkerCrash,
+    run_supervised,
+    wall_clock_limit,
+)
+
+__all__ = [
+    "DEFAULT_JOURNAL_DIR",
+    "JOURNAL_SCHEMA",
+    "HANG_SLEEP_S",
+    "JobTimeout",
+    "PayloadCorruption",
+    "QuarantineError",
+    "ResilienceConfig",
+    "RunJournal",
+    "SchedTelemetry",
+    "WorkerCrash",
+    "job_fingerprint",
+    "new_run_id",
+    "parse_chaos",
+    "run_supervised",
+    "wall_clock_limit",
+]

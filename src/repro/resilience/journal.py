@@ -1,0 +1,240 @@
+"""Append-only NDJSON run journal (``repro-journal/1``).
+
+A :class:`RunJournal` checkpoints every completed unit of scheduler
+work — one line per job, flushed as soon as the job's payload is known
+— so an interrupted sweep loses nothing that finished.  ``--resume
+<run-id>`` reopens the journal, and the scheduler skips any job whose
+fingerprint is already recorded, replaying the stored payload instead
+(byte-identical: payloads are the same JSON-ready dicts the result
+types round-trip through).
+
+Layout: one ``<run-id>.ndjson`` file per run under ``.repro-journal/``
+(git-ignored).  The first line is a header record; every subsequent
+line is one completed job::
+
+    {"schema": "repro-journal/1", "run_id": "...", "command": "sweep", ...}
+    {"job": "<fingerprint>", "payload": {...}, "meta": {...}}
+
+The reader tolerates a torn final line (the process died mid-append)
+and skips unparsable lines instead of refusing the whole journal, so a
+SIGKILL'd run still resumes from its last complete checkpoint.
+
+A job's *fingerprint* hashes the same dependency closure the result
+cache keys on — benchmark sources, resolved system spec, parameters,
+sweep value, and requested backend — so a resume never replays stale
+work across a code or configuration change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import ReproError
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "DEFAULT_JOURNAL_DIR",
+    "RunJournal",
+    "job_fingerprint",
+    "new_run_id",
+]
+
+JOURNAL_SCHEMA = "repro-journal/1"
+DEFAULT_JOURNAL_DIR = ".repro-journal"
+
+
+def new_run_id() -> str:
+    """A short collision-resistant id for a fresh run."""
+    return uuid.uuid4().hex[:12]
+
+
+def job_fingerprint(spec) -> str:
+    """Stable identity of one :class:`~repro.sched.runner.JobSpec`.
+
+    Shares the result cache's key material (sources × system × params ×
+    value × backend) so journal identity and cache identity invalidate
+    together; the two hashes differ only by a domain prefix, keeping a
+    journal line from ever being mistaken for a cache key.
+    """
+    from dataclasses import asdict
+
+    from repro.sched.cache import _canonical, source_fingerprint
+    from repro.sched.runner import _resolve
+
+    bench = _resolve(spec)
+    material = {
+        "domain": "repro-journal",
+        "benchmark": spec.benchmark,
+        "sources": source_fingerprint(type(bench)),
+        "system": asdict(bench.system),
+        "kind": spec.kind,
+        "params": spec.params,
+        "values": list(spec.values) if spec.values is not None else None,
+        "backend": spec.backend,
+    }
+    return hashlib.sha256(_canonical(material).encode()).hexdigest()
+
+
+class RunJournal:
+    """One run's append-only checkpoint file.
+
+    Use :meth:`create` for a fresh run and :meth:`resume` to reopen an
+    existing one; :meth:`record` appends and flushes one completed job,
+    and :attr:`completed` maps job fingerprints to their stored
+    payloads (pre-populated on resume).
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        run_id: str,
+        *,
+        completed: dict[str, Any] | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        self.path = path
+        self.run_id = run_id
+        self.meta = dict(meta or {})
+        #: fingerprint -> payload for every job already checkpointed
+        self.completed: dict[str, Any] = dict(completed or {})
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: str | Path = DEFAULT_JOURNAL_DIR,
+        *,
+        run_id: str | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> "RunJournal":
+        """Start a fresh journal; writes the header line immediately."""
+        run_id = run_id or new_run_id()
+        root = Path(root)
+        path = root / f"{run_id}.ndjson"
+        if path.exists():
+            raise ReproError(
+                f"journal {path} already exists; pass --resume {run_id} "
+                "to continue it or pick another --run-id"
+            )
+        journal = cls(path, run_id, meta=meta)
+        try:
+            root.mkdir(parents=True, exist_ok=True)
+            journal._fh = path.open("a")
+        except OSError as exc:
+            raise ReproError(
+                f"journal directory {root} is not writable: {exc}; "
+                "pick another --journal-dir or pass --no-journal"
+            ) from None
+        journal._append(
+            {"schema": JOURNAL_SCHEMA, "run_id": run_id, **journal.meta}
+        )
+        return journal
+
+    @classmethod
+    def resume(
+        cls, root: str | Path, run_id: str
+    ) -> "RunJournal":
+        """Reopen an existing journal, loading its completed jobs."""
+        path = Path(root) / f"{run_id}.ndjson"
+        if not path.exists():
+            raise ReproError(
+                f"no journal for run {run_id!r} under {root} "
+                f"(expected {path})"
+            )
+        header, completed = cls._load(path)
+        if header.get("schema") != JOURNAL_SCHEMA:
+            raise ReproError(
+                f"journal {path} has schema {header.get('schema')!r}, "
+                f"expected {JOURNAL_SCHEMA}"
+            )
+        journal = cls(
+            path,
+            header.get("run_id", run_id),
+            completed=completed,
+            meta={k: v for k, v in header.items() if k not in ("schema", "run_id")},
+        )
+        try:
+            cls._heal_torn_tail(path)
+            journal._fh = path.open("a")
+        except OSError as exc:
+            raise ReproError(f"journal {path} is not writable: {exc}") from None
+        return journal
+
+    @staticmethod
+    def _heal_torn_tail(path: Path) -> None:
+        """Terminate a torn final line so new appends start on a fresh
+        line; the loader already skips the unparsable remnant."""
+        with path.open("r+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() == 0:
+                return
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) != b"\n":
+                fh.write(b"\n")
+
+    @staticmethod
+    def _load(path: Path) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Parse a journal file, tolerating torn or garbage lines."""
+        header: dict[str, Any] = {}
+        completed: dict[str, Any] = {}
+        with path.open() as fh:
+            for i, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    # torn append (crash mid-write) — skip, keep reading:
+                    # later complete lines are still valid checkpoints
+                    continue
+                if i == 0 or ("schema" in obj and not header):
+                    header = obj
+                elif "job" in obj:
+                    completed[obj["job"]] = obj.get("payload")
+        return header, completed
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        fingerprint: str,
+        payload: Any,
+        *,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        """Checkpoint one completed job (append + flush)."""
+        entry: dict[str, Any] = {"job": fingerprint, "payload": payload}
+        if meta:
+            entry["meta"] = meta
+        self._append(entry)
+        self.completed[fingerprint] = payload
+
+    def _append(self, obj: dict[str, Any]) -> None:
+        if self._fh is None:  # pragma: no cover - defensive
+            raise ReproError(f"journal {self.path} is not open for writing")
+        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunJournal(run_id={self.run_id!r}, completed={len(self)})"

@@ -1,4 +1,4 @@
-"""Parallel sweep scheduling and content-addressed result caching."""
+"""Supervised sweep scheduling and content-addressed result caching."""
 
 from repro.sched.cache import (
     CACHE_SCHEMA,

@@ -12,7 +12,12 @@ run is byte-identical to a cold one.
 
 Entries live under ``.repro-cache/`` (git-ignored) as one JSON file per
 key, written atomically so concurrent sweep workers never observe a
-torn entry.
+torn entry.  Each entry additionally carries a SHA-256 checksum of its
+payload; a read that finds an unparsable entry or a checksum mismatch
+(a torn write that survived, bit rot, a partial copy) *quarantines* the
+file — moves it to ``quarantine/`` under the cache root and counts it
+in :meth:`ResultCache.stats` — and reports a miss so the scheduler
+recomputes instead of crashing or replaying garbage.
 """
 
 from __future__ import annotations
@@ -25,10 +30,13 @@ import sys
 import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.arch.spec import SystemSpec
 from repro.common.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "ResultCache", "source_fingerprint"]
 
@@ -76,6 +84,16 @@ def _canonical(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
 
 
+def _payload_checksum(payload: Any) -> str:
+    """SHA-256 over the canonical JSON form of a payload.
+
+    Canonicalization makes the checksum stable across the write
+    (in-memory payload) and the verify (payload re-parsed from disk):
+    JSON round-trips floats exactly, so both sides hash identically.
+    """
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
 @dataclass
 class ResultCache:
     """On-disk content-addressed store with hit/miss accounting."""
@@ -85,7 +103,12 @@ class ResultCache:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantines: int = 0
+    #: optional scheduler chaos plan: tears entries on read so the
+    #: quarantine path is exercised deterministically (tests/CI)
+    chaos: "FaultPlan | None" = field(default=None, repr=False, compare=False)
     _root_path: Path = field(init=False, repr=False)
+    _reads: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._root_path = Path(self.root)
@@ -119,22 +142,68 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict[str, Any] | None:
-        """Look a payload up; counts a hit or a miss."""
+        """Look a payload up; counts a hit, a miss, or a quarantine.
+
+        A torn or checksum-failing entry is moved to ``quarantine/``
+        and reads as a miss, so corruption costs one recompute instead
+        of a crash or a silently wrong replay.
+        """
         if not self.enabled:
             self.misses += 1
             return None
         path = self._path(key)
+        read_ordinal = self._reads
+        self._reads += 1
+        if (
+            self.chaos is not None
+            and path.exists()
+            and self.chaos.cache_read_corrupts(read_ordinal)
+        ):
+            # chaos: tear the entry on disk, then take the normal
+            # guarded read path — the same code a real torn write hits
+            try:
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, len(data) // 2)])
+            except OSError:
+                pass
         try:
-            entry = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            # missing, unreadable, or torn entries all read as a miss
+            text = path.read_text()
+        except OSError:
+            # missing or unreadable file is a plain miss
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if not isinstance(entry, dict) or "payload" not in entry:
+                raise ValueError("entry missing payload")
+            stored = entry.get("sha256")
+            if stored is not None:
+                actual = _payload_checksum(entry["payload"])
+                if actual != stored:
+                    raise ValueError("payload checksum mismatch")
+        except (json.JSONDecodeError, ValueError):
+            self._quarantine(path)
             self.misses += 1
             return None
         if entry.get("schema") != CACHE_SCHEMA:
+            # a stale layout version, not corruption: plain miss
             self.misses += 1
             return None
         self.hits += 1
         return entry["payload"]
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupted entry aside for post-mortem; never raises."""
+        qdir = self._root_path / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:  # pragma: no cover - cross-device or perms
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantines += 1
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
         """Store a payload atomically (rename over any concurrent writer).
@@ -148,7 +217,12 @@ class ResultCache:
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            entry = {"schema": CACHE_SCHEMA, "key": key, "payload": payload}
+            entry = {
+                "schema": CACHE_SCHEMA,
+                "key": key,
+                "sha256": _payload_checksum(payload),
+                "payload": payload,
+            }
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         except OSError as exc:
             raise ReproError(
@@ -176,4 +250,5 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "quarantines": self.quarantines,
         }

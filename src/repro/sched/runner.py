@@ -1,12 +1,16 @@
-"""Multiprocess sweep/suite scheduler with incremental caching.
+"""Supervised sweep/suite scheduler with incremental caching.
 
 The unit of work is a :class:`JobSpec` — one benchmark comparison
 (``kind="run"``) or one sweep point (``kind="sweep"`` with a single
-value).  :func:`run_jobs` resolves each job against the
-:class:`~repro.sched.cache.ResultCache` first and fans the remaining
-misses out to a ``multiprocessing`` pool; results come back as the
-JSON-ready payloads the result types round-trip through, so a cached
-replay and a fresh computation are byte-for-byte interchangeable.
+value).  :func:`run_jobs` resolves each job against the run journal
+(``--resume``) and the :class:`~repro.sched.cache.ResultCache` first,
+then hands the remaining misses to the supervised worker pool of
+:mod:`repro.resilience.supervisor` — per-job wall-clock timeouts,
+crash isolation, bounded retries with backoff + jitter, poisoned-job
+quarantine, and journal checkpointing after every completed job.
+Results come back as the JSON-ready payloads the result types
+round-trip through, so a journal replay, a cached replay, and a fresh
+computation are byte-for-byte interchangeable.
 
 :func:`parallel_sweep` and :func:`parallel_suite` are the two shapes
 the CLI uses: a figure sweep decomposes into one job per x-value
@@ -18,9 +22,8 @@ benchmark.
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.arch.presets import get_system
 from repro.common.errors import ReproError
@@ -29,6 +32,9 @@ from repro.core.registry import ALL_BENCHMARKS, get_benchmark
 from repro.core.suite import SuiteReport
 from repro.exec.dispatch import current_backend_name, use_backend
 from repro.sched.cache import ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.supervisor import ResilienceConfig
 
 __all__ = ["JobSpec", "execute_job", "run_jobs", "parallel_sweep", "parallel_suite"]
 
@@ -84,35 +90,23 @@ def run_jobs(
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> list[dict[str, Any]]:
-    """Execute jobs, cache-first, misses in parallel; order-preserving.
+    """Execute jobs under supervision; order-preserving payload list.
 
-    The parent process owns all cache traffic: lookups happen before
-    dispatch (so warm entries never reach the pool) and stores happen
-    as results arrive — workers stay side-effect-free.
+    Resolution order per job: journal (``--resume``) → result cache →
+    supervised execution.  The parent process owns all cache and
+    journal traffic: lookups happen before dispatch (so warm entries
+    never reach the pool) and stores/checkpoints happen as results
+    arrive — workers stay side-effect-free.  ``resilience`` carries
+    the supervision policy (retries, timeouts, chaos plan, journal,
+    activity hub) and collects telemetry; the default policy adds
+    crash isolation and bounded retries with no observable change to
+    results.
     """
-    payloads: list[dict[str, Any] | None] = [None] * len(specs)
-    pending: list[tuple[int, JobSpec, str | None]] = []
-    for i, spec in enumerate(specs):
-        key = _cache_key(cache, spec) if cache is not None else None
-        hit = cache.get(key) if cache is not None else None
-        if hit is not None:
-            payloads[i] = hit
-        else:
-            pending.append((i, spec, key))
+    from repro.resilience.supervisor import run_supervised
 
-    if pending:
-        todo = [spec for _, spec, _ in pending]
-        if jobs > 1 and len(todo) > 1:
-            with multiprocessing.Pool(min(jobs, len(todo))) as pool:
-                fresh = pool.map(execute_job, todo)
-        else:
-            fresh = [execute_job(spec) for spec in todo]
-        for (i, _, key), payload in zip(pending, fresh):
-            payloads[i] = payload
-            if cache is not None and key is not None:
-                cache.put(key, payload)
-    return payloads  # type: ignore[return-value]
+    return run_supervised(specs, jobs=jobs, cache=cache, config=resilience)
 
 
 def parallel_sweep(
@@ -124,6 +118,7 @@ def parallel_sweep(
     backend: str | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> SweepResult:
     """A figure sweep as one job per value, merged in value order.
 
@@ -145,7 +140,7 @@ def parallel_sweep(
         )
         for v in values
     ]
-    payloads = run_jobs(specs, jobs=jobs, cache=cache)
+    payloads = run_jobs(specs, jobs=jobs, cache=cache, resilience=resilience)
     first = payloads[0]["sweep"]
     merged = SweepResult.from_dict(first, title=payloads[0].get("title", ""))
     for payload in payloads[1:]:
@@ -168,6 +163,7 @@ def parallel_suite(
     backend: str | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> SuiteReport:
     """Table I as one job per benchmark (the ``table1 --jobs`` path)."""
     overrides = overrides or {}
@@ -182,7 +178,7 @@ def parallel_suite(
         )
         for cls in ALL_BENCHMARKS
     ]
-    payloads = run_jobs(specs, jobs=jobs, cache=cache)
+    payloads = run_jobs(specs, jobs=jobs, cache=cache, resilience=resilience)
     return SuiteReport(
         results=[BenchResult.from_dict(p["result"]) for p in payloads]
     )

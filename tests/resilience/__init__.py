@@ -1,0 +1,1 @@
+"""Resilient scheduling: supervision, journal/resume, chaos."""

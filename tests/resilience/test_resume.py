@@ -1,0 +1,133 @@
+"""Checkpoint/resume: replay + remaining work == uninterrupted run.
+
+The core guarantee: payloads are the JSON-ready dicts the result types
+round-trip through, so a journal replay, a cache replay, and a fresh
+computation are byte-for-byte interchangeable — an interrupted run
+resumed under chaos still produces exactly the bytes of a clean run.
+"""
+
+import functools
+import json
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultPlan
+from repro.resilience import ResilienceConfig, RunJournal, run_supervised
+from repro.sched import JobSpec, run_jobs
+
+SPECS = [
+    JobSpec(benchmark="MemAlign", params={"n": 8192}),
+    JobSpec(benchmark="MemAlign", params={"n": 16384}),
+    JobSpec(benchmark="MemAlign", params={"n": 32768}),
+]
+
+
+@functools.lru_cache(maxsize=1)
+def expected_bytes() -> str:
+    return json.dumps(run_jobs(SPECS))
+
+
+class TestInterruptResume:
+    def test_chaos_interrupt_checkpoints_then_resumes(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="r1")
+        config = ResilienceConfig(
+            journal=journal, chaos=FaultPlan(0, interrupt_after_jobs=1)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_supervised(SPECS, config=config)
+        assert config.telemetry.completed == 1
+        journal.close()
+
+        resumed = RunJournal.resume(tmp_path, "r1")
+        config2 = ResilienceConfig(journal=resumed)
+        payloads = run_supervised(SPECS, config=config2)
+        resumed.close()
+        assert json.dumps(payloads) == expected_bytes()
+        assert config2.telemetry.resume_skips == 1
+        assert config2.telemetry.completed == 2
+
+    def test_pool_interrupt_resumes_in_pool_mode(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="r1")
+        config = ResilienceConfig(
+            journal=journal, chaos=FaultPlan(0, interrupt_after_jobs=1)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_supervised(SPECS, jobs=2, config=config)
+        saved = config.telemetry.completed
+        assert saved >= 1
+        journal.close()
+
+        resumed = RunJournal.resume(tmp_path, "r1")
+        config2 = ResilienceConfig(journal=resumed)
+        payloads = run_supervised(SPECS, jobs=2, config=config2)
+        resumed.close()
+        assert json.dumps(payloads) == expected_bytes()
+        assert config2.telemetry.resume_skips == saved
+
+    def test_fully_journaled_run_executes_nothing(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="r1")
+        run_supervised(SPECS, config=ResilienceConfig(journal=journal))
+        journal.close()
+
+        resumed = RunJournal.resume(tmp_path, "r1")
+        config = ResilienceConfig(journal=resumed)
+        payloads = run_supervised(SPECS, config=config)
+        resumed.close()
+        assert json.dumps(payloads) == expected_bytes()
+        assert config.telemetry.resume_skips == 3
+        assert config.telemetry.completed == 0
+
+    def test_code_change_invalidates_fingerprint(self, tmp_path):
+        # a journal from different specs replays nothing (params are
+        # part of the fingerprint closure)
+        journal = RunJournal.create(tmp_path, run_id="r1")
+        run_supervised(
+            [JobSpec(benchmark="MemAlign", params={"n": 4096})],
+            config=ResilienceConfig(journal=journal),
+        )
+        journal.close()
+
+        resumed = RunJournal.resume(tmp_path, "r1")
+        config = ResilienceConfig(journal=resumed)
+        run_supervised(SPECS[:1], config=config)
+        resumed.close()
+        assert config.telemetry.resume_skips == 0
+        assert config.telemetry.completed == 1
+
+
+class TestReplayProperty:
+    @given(
+        k=st.integers(min_value=1, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**16),
+        crash=st.sampled_from([0.0, 1.0]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_replay_plus_remaining_is_byte_identical(self, k, seed, crash):
+        """Interrupt after k jobs, resume under crash chaos: the final
+        payload list is byte-identical to the uninterrupted run."""
+        with tempfile.TemporaryDirectory() as root:
+            journal = RunJournal.create(root, run_id="prop")
+            config = ResilienceConfig(
+                journal=journal,
+                chaos=FaultPlan(seed, interrupt_after_jobs=k),
+            )
+            with pytest.raises(KeyboardInterrupt):
+                run_supervised(SPECS, config=config)
+            journal.close()
+
+            resumed = RunJournal.resume(root, "prop")
+            config2 = ResilienceConfig(
+                journal=resumed,
+                chaos=FaultPlan(
+                    seed,
+                    worker_crash_prob=crash,
+                    sched_fault_attempts=1,
+                ),
+            )
+            payloads = run_supervised(SPECS, config=config2)
+            resumed.close()
+            assert json.dumps(payloads) == expected_bytes()
+            assert config2.telemetry.resume_skips == k

@@ -68,6 +68,7 @@ class TestStore:
             "hits": 1,
             "misses": 1,
             "stores": 1,
+            "quarantines": 0,
         }
 
     def test_float_exact_roundtrip(self, cache):
@@ -103,3 +104,66 @@ class TestStore:
         entry = json.loads(cache._path(k).read_text())
         assert entry["schema"] == CACHE_SCHEMA
         assert entry["key"] == k
+        assert entry["sha256"]
+
+
+class TestQuarantine:
+    def test_torn_entry_quarantined_not_crash(self, cache):
+        k = key(cache)
+        cache.put(k, {"x": 1})
+        path = cache._path(k)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(k) is None
+        assert cache.quarantines == 1
+        assert not path.exists()
+        qdir = cache._root_path / "quarantine"
+        assert [p.name for p in qdir.iterdir()] == [path.name]
+
+    def test_checksum_mismatch_quarantined(self, cache):
+        k = key(cache)
+        cache.put(k, {"x": 1})
+        path = cache._path(k)
+        entry = json.loads(path.read_text())
+        entry["payload"] = {"x": 2}  # bit rot: payload no longer matches
+        path.write_text(json.dumps(entry))
+        assert cache.get(k) is None
+        assert cache.quarantines == 1
+
+    def test_wrong_schema_is_not_quarantined(self, cache):
+        # a stale layout version is a plain miss, not corruption
+        k = key(cache)
+        cache._path(k).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(k).write_text(
+            json.dumps({"schema": "other/9", "payload": {}})
+        )
+        assert cache.get(k) is None
+        assert cache.quarantines == 0
+
+    def test_recompute_after_quarantine_repopulates(self, cache):
+        k = key(cache)
+        cache.put(k, {"x": 1})
+        cache._path(k).write_text("garbage")
+        assert cache.get(k) is None  # quarantined
+        cache.put(k, {"x": 1})       # the recompute stores a fresh entry
+        assert cache.get(k) == {"x": 1}
+        assert cache.stats()["quarantines"] == 1
+
+    def test_pre_checksum_entry_still_readable(self, cache):
+        # entries written before the checksum field verify nothing
+        k = key(cache)
+        cache._path(k).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(k).write_text(
+            json.dumps({"schema": CACHE_SCHEMA, "key": k, "payload": {"x": 3}})
+        )
+        assert cache.get(k) == {"x": 3}
+
+    def test_chaos_tears_entries_deterministically(self, cache, tmp_path):
+        from repro.faults.plan import FaultPlan
+
+        k = key(cache)
+        cache.put(k, {"x": 1})
+        chaotic = ResultCache(
+            cache._root_path, chaos=FaultPlan(5, cache_corrupt_prob=1.0)
+        )
+        assert chaotic.get(k) is None
+        assert chaotic.quarantines == 1

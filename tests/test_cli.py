@@ -241,6 +241,7 @@ class TestSchedulerFlags:
             [
                 "sweep", "BankRedux", "--values", values, "--out", str(par),
                 "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+                "--journal-dir", str(tmp_path / "journal"),
                 "--stats", str(stats),
             ]
         ) == 0
@@ -256,6 +257,7 @@ class TestSchedulerFlags:
         argv = [
             "sweep", "BankRedux", "--values", "65536,131072",
             "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--journal-dir", str(tmp_path / "journal"),
             "--stats", str(tmp_path / "stats.json"),
         ]
         assert main(argv) == 0
@@ -270,6 +272,7 @@ class TestSchedulerFlags:
         argv = [
             "sweep", "BankRedux", "--values", "65536", "--jobs", "2",
             "--no-cache", "--cache-dir", str(tmp_path / "cache"),
+            "--journal-dir", str(tmp_path / "journal"),
             "--stats", str(tmp_path / "stats.json"),
         ]
         assert main(argv) == 0
@@ -284,6 +287,78 @@ class TestSchedulerFlags:
     def test_jobs_without_values_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "BankRedux", "--jobs", "2"])
+
+
+class TestResilienceFlags:
+    def test_chaos_sweep_byte_identical_to_clean(self, capsys, tmp_path):
+        values = "16384,32768"
+        serial = tmp_path / "serial.json"
+        chaotic = tmp_path / "chaotic.json"
+        assert main(
+            ["sweep", "MemAlign", "--values", values, "--out", str(serial)]
+        ) == 0
+        assert main(
+            [
+                "sweep", "MemAlign", "--values", values, "--out", str(chaotic),
+                "--chaos", "seed=7,crash=0.6,payload=0.3,max-fault-attempts=2",
+                "--max-retries", "4", "--no-cache",
+                "--journal-dir", str(tmp_path / "journal"),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == chaotic.read_bytes()
+
+    def test_interrupt_saves_journal_then_resume_completes(self, capsys, tmp_path):
+        import json
+
+        values = "8192,16384,32768"
+        serial = tmp_path / "serial.json"
+        resumed = tmp_path / "resumed.json"
+        stats = tmp_path / "stats.json"
+        assert main(
+            ["sweep", "MemAlign", "--values", values, "--out", str(serial)]
+        ) == 0
+        base = [
+            "sweep", "MemAlign", "--values", values, "--no-cache",
+            "--journal-dir", str(tmp_path / "journal"),
+        ]
+        assert main(base + ["--run-id", "r1", "--chaos", "interrupt-after=1"]) == 4
+        err = capsys.readouterr().err
+        assert "--resume r1" in err and "1 completed" in err
+        assert main(
+            base + ["--resume", "r1", "--out", str(resumed), "--stats", str(stats)]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == resumed.read_bytes()
+        doc = json.loads(stats.read_text())
+        assert doc["execution"]["resume_skips"] == 1
+        assert doc["execution"]["completed"] == 2
+
+    def test_degraded_fallback_exits_three(self, capsys, tmp_path):
+        rc = main([
+            "run", "MemAlign", "-p", "n=16384", "--backend", "fast",
+            "--chaos", "diverge=0", "--no-journal",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "[ok]" in out  # the fallback re-ran on the reference backend
+
+    def test_quarantine_exits_two(self, capsys, tmp_path):
+        rc = main([
+            "sweep", "MemAlign", "--values", "16384",
+            "--chaos", "seed=3,crash=1.0", "--max-retries", "1",
+            "--no-cache", "--no-journal",
+        ])
+        assert rc == 2
+        assert "quarantined" in capsys.readouterr().err
+
+    def test_interrupted_no_journal_mentions_discard(self, capsys, tmp_path):
+        rc = main([
+            "sweep", "MemAlign", "--values", "8192,16384", "--no-cache",
+            "--no-journal", "--chaos", "interrupt-after=1",
+        ])
+        assert rc == 4
+        assert "discarded" in capsys.readouterr().err
 
 
 class TestCliErrorPaths:
@@ -311,6 +386,7 @@ class TestCliErrorPaths:
         rc = main([
             "sweep", "BankRedux", "--values", "65536", "--jobs", "2",
             "--cache-dir", str(blocker),
+            "--journal-dir", str(tmp_path / "journal"),
         ])
         assert rc == 2
         err = capsys.readouterr().err

@@ -98,6 +98,70 @@ def _resilience_requested(args: argparse.Namespace) -> bool:
     )
 
 
+def _fleet_requested(args: argparse.Namespace) -> bool:
+    """Did ``--fleet`` or ``--join`` ask for the work-stealing fleet?"""
+    return (
+        getattr(args, "fleet", None) is not None
+        or getattr(args, "join", None) is not None
+    )
+
+
+def _make_fleet(args: argparse.Namespace, *, command: str):
+    """Build the fleet configuration from ``--fleet``/``--join`` flags."""
+    from repro.resilience import FleetConfig, new_run_id, parse_chaos
+
+    if not _fleet_requested(args):
+        return None
+    if getattr(args, "fleet", None) is not None and getattr(args, "join", None):
+        raise ReproError(
+            "--fleet and --join are mutually exclusive: --fleet spawns "
+            "local workers for a new run, --join adds this process to an "
+            "existing one"
+        )
+    if getattr(args, "resume", None):
+        raise ReproError(
+            "--resume does not apply to fleet runs; re-join an "
+            "interrupted fleet with --join <run-id> instead"
+        )
+    if args.join:
+        run_id, workers = args.join, 0
+    else:
+        if args.fleet <= 0:
+            raise ReproError(
+                f"--fleet needs a positive worker count, got {args.fleet}"
+            )
+        run_id, workers = (getattr(args, "run_id", None) or new_run_id()), args.fleet
+    ttl = args.lease_ttl if args.lease_ttl is not None else 5.0
+    heartbeat = (
+        args.heartbeat if args.heartbeat is not None else max(ttl / 3.0, 1e-3)
+    )
+    kwargs: dict[str, Any] = {}
+    if getattr(args, "max_retries", None) is not None:
+        kwargs["max_retries"] = args.max_retries
+    return FleetConfig(
+        run_id=run_id,
+        worker_id=getattr(args, "worker_id", None) or "",
+        workers=workers,
+        journal_root=args.journal_dir,
+        command=command,
+        heartbeat_s=heartbeat,
+        lease_ttl_s=ttl,
+        chaos=parse_chaos(args.chaos) if getattr(args, "chaos", None) else None,
+        **kwargs,
+    )
+
+
+def _fleet_resilience(fleet):
+    """A resilience shim sharing the fleet's telemetry, so the stats
+    sidecar, degradation exit code, and execution section all read the
+    fleet run without a parallel code path."""
+    from repro.resilience import ResilienceConfig
+
+    shim = ResilienceConfig()
+    shim.telemetry = fleet.telemetry
+    return shim
+
+
 def _make_resilience(args: argparse.Namespace, *, command: str):
     """Build the supervision policy (and run journal) from CLI flags."""
     from repro.resilience import ResilienceConfig, RunJournal, parse_chaos
@@ -148,10 +212,17 @@ def _sigterm_as_interrupt():
     return _scope()
 
 
-def _interrupted(resilience) -> int:
+def _interrupted(resilience, fleet=None) -> int:
     """Exit code 4: interrupted, journal flushed, partial results saved."""
     tele = resilience.telemetry
-    if resilience.journal is not None:
+    if fleet is not None:
+        print(
+            f"interrupted: fleet run {fleet.run_id} keeps each worker's "
+            f"completed jobs in its own journal; finish with "
+            f"--join {fleet.run_id}",
+            file=sys.stderr,
+        )
+    elif resilience.journal is not None:
         run_id = resilience.journal.run_id
         resilience.journal.close()
         print(
@@ -166,6 +237,31 @@ def _interrupted(resilience) -> int:
             file=sys.stderr,
         )
     return 4
+
+
+def _resume_noop(args: argparse.Namespace, resilience) -> bool:
+    """Was ``--resume`` pointed at an already-complete run?
+
+    Nothing executed, nothing quarantined, every job replayed from the
+    journal — so the run's artifacts were already written by the run
+    that completed it and must not be re-written here.
+    """
+    if getattr(args, "resume", None) is None or resilience is None:
+        return False
+    tele = resilience.telemetry
+    return (
+        tele.completed == 0
+        and tele.resume_skips > 0
+        and not tele.quarantined
+    )
+
+
+def _print_resume_noop(args: argparse.Namespace, resilience) -> None:
+    tele = resilience.telemetry
+    print(
+        f"nothing to do: run {args.resume} already complete "
+        f"({tele.resume_skips} job(s) journaled); artifacts unchanged"
+    )
 
 
 def _sched_status(status: int, resilience) -> int:
@@ -249,21 +345,34 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     cache = None
     resilience = None
+    fleet = _make_fleet(args, command="table1")
     with _backend_scope(args):
-        if args.jobs > 1 or _resilience_requested(args):
+        if args.jobs > 1 or fleet is not None or _resilience_requested(args):
             from repro.sched import parallel_suite
 
             cache = _make_cache(args)
-            resilience = _make_resilience(args, command="table1")
+            if fleet is not None:
+                resilience = _fleet_resilience(fleet)
+            else:
+                resilience = _make_resilience(args, command="table1")
             try:
                 with _sigterm_as_interrupt():
                     report = parallel_suite(
-                        jobs=args.jobs, cache=cache, resilience=resilience
+                        jobs=args.jobs, cache=cache,
+                        resilience=None if fleet is not None else resilience,
+                        fleet=fleet,
                     )
             except KeyboardInterrupt:
-                return _interrupted(resilience)
+                return _interrupted(resilience, fleet)
         else:
             report = run_suite()
+    if _resume_noop(args, resilience):
+        _print_resume_noop(args, resilience)
+        _write_sched_stats(
+            args, cache, benchmark="table1", jobs=args.jobs,
+            resilience=resilience,
+        )
+        return _sched_status(0 if report.all_verified else 1, resilience)
     print(report.render())
     if args.out:
         from repro.prof import write_metrics
@@ -362,11 +471,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     cache = None
     resilience = None
-    if args.jobs > 1 or _resilience_requested(args):
+    fleet = _make_fleet(args, command="sweep")
+    if args.jobs > 1 or fleet is not None or _resilience_requested(args):
         if values is None:
             raise SystemExit(
-                "--jobs and the resilience flags need explicit --values "
-                "to decompose the sweep into jobs"
+                "--jobs, --fleet/--join, and the resilience flags need "
+                "explicit --values to decompose the sweep into jobs"
             )
         if args.trace or args.json or args.ndjson:
             print(
@@ -377,7 +487,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         from repro.sched import parallel_sweep
 
         cache = _make_cache(args)
-        resilience = _make_resilience(args, command="sweep")
+        if fleet is not None:
+            resilience = _fleet_resilience(fleet)
+        else:
+            resilience = _make_resilience(args, command="sweep")
         try:
             with _sigterm_as_interrupt():
                 sweep = parallel_sweep(
@@ -388,10 +501,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     backend=getattr(args, "backend", None),
                     jobs=args.jobs,
                     cache=cache,
-                    resilience=resilience,
+                    resilience=None if fleet is not None else resilience,
+                    fleet=fleet,
                 )
         except KeyboardInterrupt:
-            return _interrupted(resilience)
+            return _interrupted(resilience, fleet)
         prof = None
     else:
         system = get_system(args.system) if args.system else None
@@ -399,6 +513,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             bench = get_benchmark(args.benchmark, system)
             with _profiled(args) as prof:
                 sweep = bench.sweep(values, **params)
+    if _resume_noop(args, resilience):
+        _print_resume_noop(args, resilience)
+        _write_sched_stats(
+            args, cache, benchmark=args.benchmark, jobs=args.jobs,
+            resilience=resilience,
+        )
+        return _sched_status(0, resilience)
     print(sweep.render())
     if args.out:
         from repro.prof import write_metrics
@@ -711,6 +832,118 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     return status
 
 
+def _age(seconds: float) -> str:
+    """A compact human age like ``3d4h`` / ``12m`` for journal listings."""
+    seconds = max(0.0, seconds)
+    days, rem = divmod(int(seconds), 86400)
+    hours, rem = divmod(rem, 3600)
+    minutes = rem // 60
+    if days:
+        return f"{days}d{hours}h"
+    if hours:
+        return f"{hours}h{minutes}m"
+    return f"{minutes}m"
+
+
+def cmd_journal_ls(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.resilience import list_runs
+
+    runs = list_runs(args.journal_dir)
+    if not runs:
+        print(f"no journaled runs under {args.journal_dir}")
+        return 0
+    now = time.time()
+    print(f"{'RUN':<14} {'KIND':<6} {'COMMAND':<8} {'JOBS':>6}  AGE")
+    for entry in runs:
+        jobs = str(entry["jobs"])
+        if entry.get("total"):
+            jobs = f"{entry['jobs']}/{entry['total']}"
+        print(
+            f"{entry['run_id']:<14} {entry['kind']:<6} "
+            f"{entry['command'] or '-':<8} {jobs:>6}  "
+            f"{_age(now - entry['mtime'])}"
+        )
+    return 0
+
+
+def cmd_journal_show(args: argparse.Namespace) -> int:
+    from repro.resilience import RunJournal, list_runs
+    from repro.resilience.fleet import fleet_dir
+
+    root = Path(args.journal_dir)
+    entry = next(
+        (e for e in list_runs(root) if e["run_id"] == args.run_id), None
+    )
+    if entry is None:
+        raise ReproError(
+            f"no journaled run {args.run_id!r} under {root}; "
+            "see 'repro journal ls'"
+        )
+    if entry["kind"] == "run":
+        header, completed = RunJournal._load(Path(entry["path"]))
+        print(
+            f"run {args.run_id}: command={header.get('command', '-')} "
+            f"jobs={len(completed)}"
+        )
+        for fp, payload in completed.items():
+            kind = (payload or {}).get("kind", "?")
+            print(f"  {fp[:16]}  {kind}")
+        return 0
+    run_dir = fleet_dir(root, args.run_id)
+    import json as _json
+
+    manifest = _json.loads((run_dir / "manifest.json").read_text())
+    total = len(manifest.get("jobs", []))
+    print(
+        f"fleet run {args.run_id}: command={manifest.get('command', '-')} "
+        f"jobs={total}"
+    )
+    resolved: set[str] = set()
+    for jf in sorted((run_dir / "journals").glob("*.ndjson")):
+        _, done = RunJournal._load(jf)
+        resolved.update(done)
+        print(f"  worker {jf.stem}: {len(done)} completed")
+    quarantined = list((run_dir / "quarantine").glob("*.json")) if (
+        run_dir / "quarantine"
+    ).is_dir() else []
+    leases = [
+        p for p in (run_dir / "leases").glob("*")
+        if p.is_file() and not p.name.endswith(".tmp")
+    ] if (run_dir / "leases").is_dir() else []
+    print(
+        f"  completed {len(resolved)}/{total}, "
+        f"quarantined {len(quarantined)}, live leases {len(leases)}"
+    )
+    if len(resolved) < total:
+        print(f"  finish with: repro <command> ... --join {args.run_id}")
+    return 0
+
+
+def cmd_journal_gc(args: argparse.Namespace) -> int:
+    from repro.resilience import gc_runs
+
+    summary = gc_runs(
+        args.journal_dir,
+        older_than_days=args.older_than,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {len(summary['removed'])} run(s), kept {summary['kept']}"
+    )
+    for entry in summary["removed"]:
+        print(f"  {entry['run_id']} ({entry['kind']})")
+    if not args.dry_run:
+        print(
+            f"swept {summary['stale_leases_evicted']} stale lease(s), "
+            f"{summary['steal_remnants_removed']} steal remnant(s), "
+            f"{summary['tmp_files_removed']} tmp file(s)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro",
@@ -785,6 +1018,33 @@ def build_parser() -> argparse.ArgumentParser:
             "'seed=7,crash=0.4,hang=0.2,payload=0.3,max-fault-attempts=2'",
         )
 
+    def add_fleet_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--fleet", type=int, default=None, metavar="N",
+            help="run via the work-stealing fleet: spawn N worker "
+            "processes cooperating through a shared journal directory",
+        )
+        sp.add_argument(
+            "--join", default=None, metavar="RUN_ID",
+            help="become one worker of an existing fleet run (started "
+            "elsewhere with --fleet or another --join) and merge when "
+            "the run completes",
+        )
+        sp.add_argument(
+            "--worker-id", default=None, metavar="ID",
+            help="stable worker identity for fleet journals and leases "
+            "(default: derived from pid)",
+        )
+        sp.add_argument(
+            "--lease-ttl", type=float, default=None, metavar="SECONDS",
+            help="missed-heartbeat window before another worker may "
+            "steal a job lease (default 5)",
+        )
+        sp.add_argument(
+            "--heartbeat", type=float, default=None, metavar="SECONDS",
+            help="lease heartbeat interval (default: lease TTL / 3)",
+        )
+
     sub.add_parser("list", help="list the fourteen microbenchmarks").set_defaults(
         fn=cmd_list
     )
@@ -793,6 +1053,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_flag(table1_p)
     add_sched_flags(table1_p)
     add_resilience_flags(table1_p)
+    add_fleet_flags(table1_p)
     table1_p.set_defaults(fn=cmd_table1)
     sub.add_parser("specs", help="show the preset GPU architectures").set_defaults(
         fn=cmd_specs
@@ -825,8 +1086,45 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_flag(sweep_p)
     add_sched_flags(sweep_p)
     add_resilience_flags(sweep_p)
+    add_fleet_flags(sweep_p)
     add_export_flags(sweep_p)
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    journal_p = sub.add_parser(
+        "journal", help="inspect and prune the run-journal directory"
+    )
+    jsub = journal_p.add_subparsers(dest="journal_command", required=True)
+
+    def add_journal_dir(sp: argparse.ArgumentParser) -> None:
+        from repro.resilience import DEFAULT_JOURNAL_DIR
+
+        sp.add_argument(
+            "--journal-dir", default=DEFAULT_JOURNAL_DIR,
+            help=f"run-journal directory (default {DEFAULT_JOURNAL_DIR})",
+        )
+
+    jls_p = jsub.add_parser("ls", help="list journaled runs, newest first")
+    add_journal_dir(jls_p)
+    jls_p.set_defaults(fn=cmd_journal_ls)
+    jshow_p = jsub.add_parser("show", help="show one run's journaled jobs")
+    jshow_p.add_argument("run_id", help="run id as printed by journal ls")
+    add_journal_dir(jshow_p)
+    jshow_p.set_defaults(fn=cmd_journal_show)
+    jgc_p = jsub.add_parser(
+        "gc",
+        help="prune old runs and always sweep stale fleet leases",
+    )
+    jgc_p.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="remove runs whose newest record is older than this many "
+        "days (default: keep all runs, only sweep stale leases)",
+    )
+    jgc_p.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without touching anything",
+    )
+    add_journal_dir(jgc_p)
+    jgc_p.set_defaults(fn=cmd_journal_gc)
 
     profile_p = sub.add_parser(
         "profile", help="run one microbenchmark under the profiler"

@@ -36,6 +36,8 @@ _DOMAINS = {
     "payload": 11,
     "cache": 13,
     "jitter": 17,
+    "fleet": 19,
+    "lease": 23,
 }
 
 
@@ -148,6 +150,27 @@ class FaultPlan:
         0-based job ordinals whose fast-backend execution raises
         :class:`~repro.common.errors.BackendDivergenceError`, driving
         the automatic re-run on the reference backend.
+    fleet_kill_prob:
+        Fleet-layer chaos: per-claim probability that the worker
+        process holding a job's lease hard-exits mid-lease (``SIGKILL``
+        analog).  Keyed on ``(job ordinal, lease epoch)``, so the
+        worker that *steals* the dead worker's lease draws a fresh
+        decision; ``sched_fault_attempts`` bounds the eligible epochs
+        exactly as it bounds pool-mode attempts.
+    heartbeat_stall_prob:
+        Per-claim probability that the lease owner stops heartbeating
+        and stalls past the lease TTL before executing, so a healthy
+        peer steals the lease mid-run and the original completion
+        arrives as a duplicate (first-write-wins merge path).
+    lease_corrupt_prob:
+        Per-claim probability that the lease file is written torn
+        (truncated JSON); peers treat an unreadable lease as
+        immediately steal-eligible and quarantine the remnant.
+    lease_skew_s:
+        Clock-skew analog: stealers judge lease staleness as if their
+        clock ran this many seconds ahead, forcing premature steals.
+        Results must stay byte-identical — a skewed steal only costs a
+        duplicate completion.
     """
 
     def __init__(
@@ -170,6 +193,10 @@ class FaultPlan:
         sched_fault_attempts: int | None = None,
         interrupt_after_jobs: int | None = None,
         divergence_jobs: tuple[int, ...] | list[int] | None = None,
+        fleet_kill_prob: float = 0.0,
+        heartbeat_stall_prob: float = 0.0,
+        lease_corrupt_prob: float = 0.0,
+        lease_skew_s: float = 0.0,
     ) -> None:
         for name, p in (
             ("h2d_fail_prob", h2d_fail_prob),
@@ -179,6 +206,9 @@ class FaultPlan:
             ("worker_hang_prob", worker_hang_prob),
             ("payload_corrupt_prob", payload_corrupt_prob),
             ("cache_corrupt_prob", cache_corrupt_prob),
+            ("fleet_kill_prob", fleet_kill_prob),
+            ("heartbeat_stall_prob", heartbeat_stall_prob),
+            ("lease_corrupt_prob", lease_corrupt_prob),
         ):
             if not 0.0 <= p <= 1.0:
                 raise ReproError(f"{name} must be in [0, 1], got {p}")
@@ -186,6 +216,12 @@ class FaultPlan:
             raise ReproError("fail probability + corrupt_prob must not exceed 1")
         if worker_crash_prob + worker_hang_prob > 1.0:
             raise ReproError("worker crash + hang probability must not exceed 1")
+        if fleet_kill_prob + heartbeat_stall_prob > 1.0:
+            raise ReproError(
+                "fleet kill + heartbeat-stall probability must not exceed 1"
+            )
+        if lease_skew_s < 0.0:
+            raise ReproError(f"lease_skew_s must be >= 0, got {lease_skew_s}")
         if stall_every is not None and stall_every <= 0:
             raise ReproError(f"stall_every must be positive, got {stall_every}")
         if interrupt_after_jobs is not None and interrupt_after_jobs <= 0:
@@ -209,6 +245,10 @@ class FaultPlan:
         self.sched_fault_attempts = sched_fault_attempts
         self.interrupt_after_jobs = interrupt_after_jobs
         self.divergence_jobs = tuple(divergence_jobs or ())
+        self.fleet_kill_prob = fleet_kill_prob
+        self.heartbeat_stall_prob = heartbeat_stall_prob
+        self.lease_corrupt_prob = lease_corrupt_prob
+        self.lease_skew_s = lease_skew_s
         self.reset()
 
     def reset(self) -> None:
@@ -332,6 +372,36 @@ class FaultPlan:
     def retry_jitter(self, ordinal: int, attempt: int) -> float:
         """Uniform [0,1) draw feeding :meth:`RetryPolicy.backoff` jitter."""
         return self._keyed("jitter", ordinal, attempt)
+
+    # -- fleet-layer chaos ---------------------------------------------
+    # Keyed on (job ordinal, lease epoch): epoch 0 is the first claim,
+    # each steal increments it.  Like the scheduler-layer decisions,
+    # these are pure functions of the key, so the same plan injects the
+    # same faults regardless of which worker claims which job.
+
+    def fleet_outcome(self, ordinal: int, epoch: int) -> str:
+        """``"ok"`` | ``"kill"`` | ``"stall"`` for one lease claim.
+
+        ``kill``: the claiming worker hard-exits mid-lease.  ``stall``:
+        the claiming worker stops heartbeating and sleeps past the
+        lease TTL before executing (duplicate-completion path).
+        """
+        if self.fleet_kill_prob == 0.0 and self.heartbeat_stall_prob == 0.0:
+            return "ok"
+        if not self._sched_armed(epoch):
+            return "ok"
+        u = self._keyed("fleet", ordinal, epoch)
+        if u < self.fleet_kill_prob:
+            return "kill"
+        if u < self.fleet_kill_prob + self.heartbeat_stall_prob:
+            return "stall"
+        return "ok"
+
+    def lease_write_corrupts(self, ordinal: int, epoch: int) -> bool:
+        """Should this claim's lease file be written torn on disk?"""
+        if self.lease_corrupt_prob == 0.0 or not self._sched_armed(epoch):
+            return False
+        return self._keyed("lease", ordinal, epoch) < self.lease_corrupt_prob
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"FaultPlan(seed={self.seed})"

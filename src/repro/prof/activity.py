@@ -31,7 +31,12 @@ Record kinds
 ``sanitizer``  a compute-sanitizer analog finding was raised
 ``sched``      the supervised scheduler acted: a retry, a job timeout,
                a worker crash, a degradation fallback, a resume skip,
-               or a quarantine
+               or a quarantine.  Fleet runs re-emit their coordination
+               history here at merge time as ``fleet-*`` names on the
+               ``"fleet"`` track — ``fleet-lease-acquire``,
+               ``fleet-lease-steal``, ``fleet-lease-lost``,
+               ``fleet-heartbeat``, ``fleet-job-complete``,
+               ``fleet-worker-exit``, and the final ``fleet-merge``
 =============  ======================================================
 
 Timed kinds carry device-clock ``start``/``end`` seconds; driver-phase

@@ -1,21 +1,38 @@
-"""Resilient scheduling: supervision, checkpoint/resume, degradation.
+"""Resilient scheduling: supervision, checkpoint/resume, fleet, chaos.
 
 The production-hardening layer over :mod:`repro.sched`: a supervised
 worker pool (:mod:`~repro.resilience.supervisor`), an append-only
 NDJSON run journal for checkpoint/resume
-(:mod:`~repro.resilience.journal`), and the ``--chaos`` grammar that
-drives deterministic scheduler-layer fault injection
-(:mod:`~repro.resilience.chaos`).  See ``docs/resilience.md``.
+(:mod:`~repro.resilience.journal`), a journal-backed work-stealing
+fleet for distributed sweeps (:mod:`~repro.resilience.fleet` over the
+atomic leases of :mod:`~repro.resilience.lease`), and the ``--chaos``
+grammar that drives deterministic scheduler- and fleet-layer fault
+injection (:mod:`~repro.resilience.chaos`).  See ``docs/resilience.md``
+and ``docs/fleet.md``.
 """
 
 from repro.resilience.chaos import parse_chaos
+from repro.resilience.fleet import (
+    FLEET_SCHEMA,
+    FleetConfig,
+    FleetMergeError,
+    ensure_manifest,
+    fleet_dir,
+    fleet_worker,
+    join_fleet,
+    merge_fleet,
+    run_fleet,
+)
 from repro.resilience.journal import (
     DEFAULT_JOURNAL_DIR,
     JOURNAL_SCHEMA,
     RunJournal,
+    gc_runs,
     job_fingerprint,
+    list_runs,
     new_run_id,
 )
+from repro.resilience.lease import LEASE_SCHEMA, Lease, LeaseDir
 from repro.resilience.supervisor import (
     HANG_SLEEP_S,
     JobTimeout,
@@ -30,18 +47,32 @@ from repro.resilience.supervisor import (
 
 __all__ = [
     "DEFAULT_JOURNAL_DIR",
+    "FLEET_SCHEMA",
     "JOURNAL_SCHEMA",
+    "LEASE_SCHEMA",
     "HANG_SLEEP_S",
+    "FleetConfig",
+    "FleetMergeError",
     "JobTimeout",
+    "Lease",
+    "LeaseDir",
     "PayloadCorruption",
     "QuarantineError",
     "ResilienceConfig",
     "RunJournal",
     "SchedTelemetry",
     "WorkerCrash",
+    "ensure_manifest",
+    "fleet_dir",
+    "fleet_worker",
+    "gc_runs",
     "job_fingerprint",
+    "join_fleet",
+    "list_runs",
+    "merge_fleet",
     "new_run_id",
     "parse_chaos",
+    "run_fleet",
     "run_supervised",
     "wall_clock_limit",
 ]

@@ -6,6 +6,7 @@ CI and the command line describe a seeded scheduler-layer
     --chaos seed=7,crash=0.4,hang=0.2,payload=0.3,max-fault-attempts=2
     --chaos interrupt-after=1
     --chaos diverge=0;2,cache=0.5
+    --chaos seed=3,fleet-kill=0.5,hb-stall=0.25,max-fault-attempts=1
 
 Keys
 ----
@@ -21,6 +22,14 @@ Keys
 ``interrupt-after``  simulated SIGINT after N journaled jobs
 ``diverge``          ``;``-separated job ordinals that raise a fast-
                      backend divergence
+``fleet-kill``       per-claim probability a fleet worker hard-exits
+                     mid-lease (stolen by a surviving peer)
+``hb-stall``         per-claim probability the lease owner stalls its
+                     heartbeats past the TTL (duplicate completion)
+``lease-corrupt``    per-claim probability the lease file is written
+                     torn (peers steal immediately)
+``skew``             clock-skew seconds: stealers judge leases stale
+                     this much early (premature-steal path)
 ===================  ==================================================
 """
 
@@ -36,6 +45,10 @@ _FLOAT_KEYS = {
     "hang": "worker_hang_prob",
     "payload": "payload_corrupt_prob",
     "cache": "cache_corrupt_prob",
+    "fleet-kill": "fleet_kill_prob",
+    "hb-stall": "heartbeat_stall_prob",
+    "lease-corrupt": "lease_corrupt_prob",
+    "skew": "lease_skew_s",
 }
 _INT_KEYS = {
     "max-fault-attempts": "sched_fault_attempts",

@@ -41,6 +41,8 @@ __all__ = [
     "DEFAULT_JOURNAL_DIR",
     "RunJournal",
     "job_fingerprint",
+    "list_runs",
+    "gc_runs",
     "new_run_id",
 ]
 
@@ -166,6 +168,24 @@ class RunJournal:
             raise ReproError(f"journal {path} is not writable: {exc}") from None
         return journal
 
+    @classmethod
+    def attach(
+        cls,
+        root: str | Path,
+        *,
+        run_id: str,
+        meta: dict[str, Any] | None = None,
+    ) -> "RunJournal":
+        """Resume the journal if it exists, create it otherwise.
+
+        The fleet path: a worker re-joining a run under the same id
+        keeps appending to its own journal instead of refusing the run.
+        """
+        path = Path(root) / f"{run_id}.ndjson"
+        if path.exists():
+            return cls.resume(root, run_id)
+        return cls.create(root, run_id=run_id, meta=meta)
+
     @staticmethod
     def _heal_torn_tail(path: Path) -> None:
         """Terminate a torn final line so new appends start on a fresh
@@ -238,3 +258,144 @@ class RunJournal:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RunJournal(run_id={self.run_id!r}, completed={len(self)})"
+
+
+# ----------------------------------------------------------------------
+# journal-directory tools (``repro journal ls/show/gc``)
+
+def _dir_mtime(path: Path) -> float:
+    """Newest mtime under a run directory (activity, not creation)."""
+    newest = path.stat().st_mtime
+    for child in path.rglob("*"):
+        try:
+            newest = max(newest, child.stat().st_mtime)
+        except OSError:
+            continue
+    return newest
+
+
+def list_runs(root: str | Path) -> list[dict[str, Any]]:
+    """Every run under a journal directory, newest first.
+
+    Covers both plain ``<run-id>.ndjson`` journals and ``<run-id>.fleet``
+    coordination directories.  Each entry carries ``run_id``, ``kind``
+    (``"run"`` | ``"fleet"``), ``command``, ``jobs`` (completed count),
+    ``mtime``, and ``path``.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    out: list[dict[str, Any]] = []
+    for path in root.glob("*.ndjson"):
+        header, completed = RunJournal._load(path)
+        out.append({
+            "run_id": path.stem,
+            "kind": "run",
+            "command": header.get("command", ""),
+            "jobs": len(completed),
+            "mtime": path.stat().st_mtime,
+            "path": str(path),
+        })
+    for path in root.glob("*.fleet"):
+        if not path.is_dir():
+            continue
+        manifest: dict[str, Any] = {}
+        try:
+            manifest = json.loads((path / "manifest.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            pass
+        completed: set[str] = set()
+        for jf in (path / "journals").glob("*.ndjson"):
+            _, done = RunJournal._load(jf)
+            completed.update(done)
+        out.append({
+            "run_id": path.name[: -len(".fleet")],
+            "kind": "fleet",
+            "command": manifest.get("command", ""),
+            "jobs": len(completed),
+            "total": len(manifest.get("jobs", [])) or None,
+            "mtime": _dir_mtime(path),
+            "path": str(path),
+        })
+    out.sort(key=lambda e: (-e["mtime"], e["run_id"]))
+    return out
+
+
+def gc_runs(
+    root: str | Path,
+    *,
+    older_than_days: float | None = None,
+    now: float | None = None,
+    dry_run: bool = False,
+) -> dict[str, Any]:
+    """Prune a journal directory so long-lived ones stay bounded.
+
+    Two passes:
+
+    * **age-based** (only with ``older_than_days``): delete every run —
+      journal file or fleet directory — whose newest mtime is older
+      than the cutoff;
+    * **stale-artifact cleanup** (always): expired lease files of every
+      surviving fleet run, ``stolen/`` steal remnants, and orphaned
+      ``*.tmp`` files from interrupted atomic writes.
+
+    Returns a summary dict; with ``dry_run`` nothing is deleted and
+    ``removed`` lists what would have been.
+    """
+    import shutil
+    import time as _time
+
+    root = Path(root)
+    now = _time.time() if now is None else now
+    cutoff = (
+        now - older_than_days * 86400.0
+        if older_than_days is not None else None
+    )
+    removed: list[dict[str, Any]] = []
+    leases_evicted = 0
+    remnants = 0
+    tmps = 0
+    for entry in list_runs(root):
+        path = Path(entry["path"])
+        if cutoff is not None and entry["mtime"] < cutoff:
+            removed.append(
+                {"run_id": entry["run_id"], "kind": entry["kind"]}
+            )
+            if not dry_run:
+                if entry["kind"] == "fleet":
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            continue
+        if entry["kind"] == "fleet" and not dry_run:
+            from repro.resilience.lease import LeaseDir
+
+            lease_root = path / "leases"
+            if lease_root.is_dir():
+                swept = LeaseDir(lease_root).sweep_stale()
+                leases_evicted += swept["evicted"]
+                remnants += swept["remnants"]
+            for tmp in path.rglob("*.tmp"):
+                try:
+                    tmp.unlink()
+                    tmps += 1
+                except OSError:
+                    pass
+    if not dry_run and root.is_dir():
+        for tmp in root.glob("*.tmp"):
+            try:
+                tmp.unlink()
+                tmps += 1
+            except OSError:
+                pass
+    return {
+        "removed": removed,
+        "kept": len(list_runs(root)) - (len(removed) if dry_run else 0),
+        "stale_leases_evicted": leases_evicted,
+        "steal_remnants_removed": remnants,
+        "tmp_files_removed": tmps,
+        "dry_run": dry_run,
+    }

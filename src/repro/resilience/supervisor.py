@@ -114,7 +114,8 @@ class SchedTelemetry:
     activity hub as ``sched`` records.
     """
 
-    mode: str = "serial"            #: "serial" | "pool" | "serial-fallback"
+    #: "serial" | "pool" | "serial-fallback" | "fleet" | "fleet-fallback"
+    mode: str = "serial"
     completed: int = 0              #: jobs finished this run (journaled)
     retries: int = 0
     timeouts: int = 0
@@ -125,14 +126,22 @@ class SchedTelemetry:
     fallbacks: list[dict[str, Any]] = field(default_factory=list)
     quarantined: list[dict[str, Any]] = field(default_factory=list)
     journal_run_id: str | None = None
+    # fleet counters (filled by repro.resilience.fleet at merge time)
+    fleet_workers: int = 0
+    leases_acquired: int = 0
+    leases_stolen: int = 0
+    heartbeats: int = 0
+    duplicate_completions: int = 0
 
     @property
     def degraded(self) -> bool:
         """Did the run finish only by stepping down the ladder?"""
-        return bool(self.fallbacks) or self.mode == "serial-fallback"
+        return bool(self.fallbacks) or self.mode in (
+            "serial-fallback", "fleet-fallback"
+        )
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "mode": self.mode,
             "degraded": self.degraded,
             "completed": self.completed,
@@ -146,6 +155,15 @@ class SchedTelemetry:
             "quarantined": list(self.quarantined),
             "journal_run_id": self.journal_run_id,
         }
+        if self.fleet_workers:
+            doc["fleet"] = {
+                "workers": self.fleet_workers,
+                "leases_acquired": self.leases_acquired,
+                "leases_stolen": self.leases_stolen,
+                "heartbeats": self.heartbeats,
+                "duplicate_completions": self.duplicate_completions,
+            }
+        return doc
 
 
 @dataclass
@@ -536,6 +554,11 @@ def run_supervised(
             )
             now = time.monotonic()
             for slot, a in list(active.items()):
+                if slot not in active:
+                    # a worker_died → degrade_to_serial on an earlier
+                    # slot drained the pool mid-iteration; this slot's
+                    # task is already re-queued for serial execution
+                    continue
                 task = a.task
                 if a.conn in ready:
                     try:

@@ -208,6 +208,15 @@ class ResultCache:
     def put(self, key: str, payload: dict[str, Any]) -> None:
         """Store a payload atomically (rename over any concurrent writer).
 
+        Write to a private temp file, fsync it, then ``os.replace`` into
+        place: concurrent writers (fleet workers, parallel sweeps on a
+        shared cache) each publish a complete entry and the last rename
+        wins — a reader can never observe a half-written file, and a
+        crash between fsync and rename leaves only a ``*.tmp`` that
+        ``repro journal gc`` removes.  Entries are content-addressed so
+        racing writers always carry identical payloads; ``get``
+        cross-checks the stored checksum regardless.
+
         An unwritable cache directory surfaces as a :class:`ReproError`
         (CLI exit 2 with the path in the message) instead of a raw
         ``OSError`` traceback — ``--cache-dir`` is user input.
@@ -232,6 +241,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as f:
                 json.dump(entry, f)
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

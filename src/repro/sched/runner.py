@@ -34,6 +34,7 @@ from repro.exec.dispatch import current_backend_name, use_backend
 from repro.sched.cache import ResultCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.fleet import FleetConfig
     from repro.resilience.supervisor import ResilienceConfig
 
 __all__ = ["JobSpec", "execute_job", "run_jobs", "parallel_sweep", "parallel_suite"]
@@ -91,6 +92,7 @@ def run_jobs(
     jobs: int = 1,
     cache: ResultCache | None = None,
     resilience: "ResilienceConfig | None" = None,
+    fleet: "FleetConfig | None" = None,
 ) -> list[dict[str, Any]]:
     """Execute jobs under supervision; order-preserving payload list.
 
@@ -103,7 +105,21 @@ def run_jobs(
     activity hub) and collects telemetry; the default policy adds
     crash isolation and bounded retries with no observable change to
     results.
+
+    With ``fleet`` the jobs instead go through the work-stealing fleet
+    of :mod:`repro.resilience.fleet`: ``fleet.workers > 0`` spawns
+    that many cooperating worker processes and merges their journals
+    (``--fleet N``); ``fleet.workers == 0`` makes *this* process one
+    worker of an existing fleet run and merges on completion
+    (``--join <run-id>``).  Either way the payload list is
+    byte-identical to the serial path.
     """
+    if fleet is not None:
+        from repro.resilience.fleet import join_fleet, run_fleet
+
+        if fleet.workers > 0:
+            return run_fleet(specs, fleet, cache=cache)
+        return join_fleet(specs, fleet, cache=cache)
     from repro.resilience.supervisor import run_supervised
 
     return run_supervised(specs, jobs=jobs, cache=cache, config=resilience)
@@ -119,6 +135,7 @@ def parallel_sweep(
     jobs: int = 1,
     cache: ResultCache | None = None,
     resilience: "ResilienceConfig | None" = None,
+    fleet: "FleetConfig | None" = None,
 ) -> SweepResult:
     """A figure sweep as one job per value, merged in value order.
 
@@ -140,7 +157,9 @@ def parallel_sweep(
         )
         for v in values
     ]
-    payloads = run_jobs(specs, jobs=jobs, cache=cache, resilience=resilience)
+    payloads = run_jobs(
+        specs, jobs=jobs, cache=cache, resilience=resilience, fleet=fleet
+    )
     first = payloads[0]["sweep"]
     merged = SweepResult.from_dict(first, title=payloads[0].get("title", ""))
     for payload in payloads[1:]:
@@ -164,6 +183,7 @@ def parallel_suite(
     jobs: int = 1,
     cache: ResultCache | None = None,
     resilience: "ResilienceConfig | None" = None,
+    fleet: "FleetConfig | None" = None,
 ) -> SuiteReport:
     """Table I as one job per benchmark (the ``table1 --jobs`` path)."""
     overrides = overrides or {}
@@ -178,7 +198,9 @@ def parallel_suite(
         )
         for cls in ALL_BENCHMARKS
     ]
-    payloads = run_jobs(specs, jobs=jobs, cache=cache, resilience=resilience)
+    payloads = run_jobs(
+        specs, jobs=jobs, cache=cache, resilience=resilience, fleet=fleet
+    )
     return SuiteReport(
         results=[BenchResult.from_dict(p["result"]) for p in payloads]
     )

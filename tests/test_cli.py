@@ -556,3 +556,192 @@ class TestProfDiffBenchDocs:
         assert main(["prof", "diff", str(before), str(after)]) == 0
         out = capsys.readouterr().out
         assert "benchmarks only in before: Shmem" in out
+
+
+class TestFleetCLI:
+    """``sweep --fleet/--join`` and their argument validation."""
+
+    def _sweep(self, tmp_path, *extra):
+        return main([
+            "sweep", "MemAlign", "--values", "8192,16384",
+            "--journal-dir", str(tmp_path / "jd"),
+            "--cache-dir", str(tmp_path / "cd"),
+            *extra,
+        ])
+
+    def test_fleet_sweep_matches_serial(self, capsys, tmp_path):
+        out_fleet = tmp_path / "fleet.json"
+        out_serial = tmp_path / "serial.json"
+        assert self._sweep(
+            tmp_path, "--fleet", "2", "--run-id", "clifleet",
+            "--out", str(out_fleet),
+        ) == 0
+        assert main([
+            "sweep", "MemAlign", "--values", "8192,16384",
+            "--out", str(out_serial),
+        ]) == 0
+        import json
+
+        a = json.loads(out_fleet.read_text())
+        b = json.loads(out_serial.read_text())
+        assert a["sweep"] == b["sweep"]
+
+    def test_join_of_complete_run_merges(self, capsys, tmp_path):
+        assert self._sweep(
+            tmp_path, "--fleet", "1", "--run-id", "clifleet"
+        ) == 0
+        capsys.readouterr()
+        assert self._sweep(tmp_path, "--join", "clifleet") == 0
+        assert "MemAlign" in capsys.readouterr().out
+
+    def test_stats_carry_fleet_section(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        assert self._sweep(
+            tmp_path, "--fleet", "2", "--stats", str(stats)
+        ) == 0
+        import json
+
+        fleet = json.loads(stats.read_text())["execution"]["fleet"]
+        assert fleet["workers"] == 2
+        assert fleet["leases_acquired"] == 2
+
+    def test_fleet_and_join_are_exclusive(self, capsys, tmp_path):
+        assert self._sweep(
+            tmp_path, "--fleet", "2", "--join", "x"
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_fleet_rejects_nonpositive_workers(self, capsys, tmp_path):
+        assert self._sweep(tmp_path, "--fleet", "0") == 2
+        assert "positive worker count" in capsys.readouterr().err
+
+    def test_fleet_rejects_resume(self, capsys, tmp_path):
+        assert self._sweep(
+            tmp_path, "--fleet", "2", "--resume", "old"
+        ) == 2
+        assert "--join" in capsys.readouterr().err
+
+    def test_fleet_requires_values(self, tmp_path):
+        with pytest.raises(SystemExit, match="--values"):
+            main([
+                "sweep", "MemAlign", "--fleet", "2",
+                "--journal-dir", str(tmp_path / "jd"),
+                "--cache-dir", str(tmp_path / "cd"),
+            ])
+
+
+class TestResumeNothingToDo:
+    """``--resume`` of a complete run: exit 0, no artifacts re-written."""
+
+    def _sweep(self, tmp_path, *extra):
+        return main([
+            "sweep", "MemAlign", "--values", "8192,16384",
+            "--journal-dir", str(tmp_path / "jd"),
+            "--cache-dir", str(tmp_path / "cd"),
+            *extra,
+        ])
+
+    def test_complete_resume_is_a_noop(self, capsys, tmp_path):
+        out = tmp_path / "out.json"
+        assert self._sweep(
+            tmp_path, "--run-id", "r1", "--out", str(out)
+        ) == 0
+        first_bytes = out.read_text()
+        out.write_text("sentinel: must not be re-written")
+        capsys.readouterr()
+        assert self._sweep(
+            tmp_path, "--resume", "r1", "--out", str(out)
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "nothing to do" in printed
+        assert "r1 already complete" in printed
+        assert out.read_text() == "sentinel: must not be re-written"
+        assert first_bytes  # sanity: the first run did write the doc
+
+    def test_partial_resume_still_runs_and_writes(self, capsys, tmp_path):
+        assert self._sweep(tmp_path, "--run-id", "r1") == 0
+        out = tmp_path / "out.json"
+        capsys.readouterr()
+        # one extra value: the resume has real work, so it must render
+        # and write normally
+        assert main([
+            "sweep", "MemAlign", "--values", "8192,16384,32768",
+            "--journal-dir", str(tmp_path / "jd"),
+            "--cache-dir", str(tmp_path / "cd"),
+            "--resume", "r1", "--out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "nothing to do" not in printed
+        assert out.exists()
+
+
+class TestJournalCLI:
+    """``repro journal ls/show/gc``."""
+
+    def _seed_run(self, tmp_path):
+        assert main([
+            "sweep", "MemAlign", "--values", "8192",
+            "--journal-dir", str(tmp_path / "jd"),
+            "--cache-dir", str(tmp_path / "cd"),
+            "--run-id", "r1",
+        ]) == 0
+
+    def test_ls_empty(self, capsys, tmp_path):
+        assert main([
+            "journal", "ls", "--journal-dir", str(tmp_path / "jd")
+        ]) == 0
+        assert "no journaled runs" in capsys.readouterr().out
+
+    def test_ls_and_show(self, capsys, tmp_path):
+        self._seed_run(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "journal", "ls", "--journal-dir", str(tmp_path / "jd")
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "r1" in out and "sweep" in out
+        assert main([
+            "journal", "show", "r1", "--journal-dir", str(tmp_path / "jd")
+        ]) == 0
+        assert "run r1" in capsys.readouterr().out
+
+    def test_show_fleet_run(self, capsys, tmp_path):
+        assert main([
+            "sweep", "MemAlign", "--values", "8192",
+            "--journal-dir", str(tmp_path / "jd"),
+            "--cache-dir", str(tmp_path / "cd"),
+            "--fleet", "1", "--run-id", "f1",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "journal", "show", "f1", "--journal-dir", str(tmp_path / "jd")
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet run f1" in out and "completed 1/1" in out
+
+    def test_show_unknown_run_exits_two(self, capsys, tmp_path):
+        assert main([
+            "journal", "show", "ghost", "--journal-dir", str(tmp_path / "jd")
+        ]) == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_gc_dry_run_then_real(self, capsys, tmp_path):
+        import os
+        import time
+
+        self._seed_run(tmp_path)
+        old = time.time() - 10 * 86400.0
+        os.utime(tmp_path / "jd" / "r1.ndjson", (old, old))
+        capsys.readouterr()
+        assert main([
+            "journal", "gc", "--older-than", "7", "--dry-run",
+            "--journal-dir", str(tmp_path / "jd"),
+        ]) == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert (tmp_path / "jd" / "r1.ndjson").exists()
+        assert main([
+            "journal", "gc", "--older-than", "7",
+            "--journal-dir", str(tmp_path / "jd"),
+        ]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not (tmp_path / "jd" / "r1.ndjson").exists()

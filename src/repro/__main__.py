@@ -12,6 +12,10 @@ Usage examples::
     python -m repro sweep CoMem --values 262144,1048576 --jobs 2 --out f9.json
     python -m repro sweep CoMem --values 262144,1048576 --jobs 2 \
         --chaos seed=7,crash=0.4,hang=0.2,max-fault-attempts=2 --job-timeout 10
+    python -m repro sweep CoMem --values 262144,1048576 --fleet 2 \
+        --trace fleet_trace.json --metrics metrics.prom
+    python -m repro top <run-id> --once
+    python -m repro journal show <run-id> --trace <trace-id-prefix>
     python -m repro specs
     python -m repro doctor CoMem
     python -m repro sanitize MemAlign --tool all
@@ -182,7 +186,13 @@ def _make_resilience(args: argparse.Namespace, *, command: str):
         kwargs["max_retries"] = args.max_retries
     if getattr(args, "job_timeout", None) is not None:
         kwargs["job_timeout_s"] = args.job_timeout
-    return ResilienceConfig(chaos=chaos, journal=journal, **kwargs)
+    # a hub gives the supervisor somewhere to hang its flight recorder,
+    # so a quarantine dumps the run's last sched events post-mortem
+    from repro.prof.activity import ActivityHub
+
+    return ResilienceConfig(
+        chaos=chaos, journal=journal, hub=ActivityHub(), **kwargs
+    )
 
 
 def _sigterm_as_interrupt():
@@ -327,6 +337,137 @@ def _write_sched_stats(
     print(f"scheduler stats written to {path}")
 
 
+def _pool_flight_dumps(args: argparse.Namespace, resilience) -> int | None:
+    """How many flight-recorder dumps this journaled pool run left."""
+    if resilience is None or resilience.journal is None:
+        return None
+    from repro.obs import list_flight_dumps
+
+    return len(list_flight_dumps(
+        Path(args.journal_dir) / "flightrec" / resilience.journal.run_id
+    ))
+
+
+def _metrics_snapshot(
+    args: argparse.Namespace, *, command: str, fleet=None, resilience=None,
+    cache=None, jobs_total: int | None = None,
+):
+    """The sample-set callable behind ``--metrics``/``--metrics-port``.
+
+    Fleet runs scan the shared coordination directory read-only — safe
+    to call from any process at any time, and incapable of perturbing
+    the run's byte-identical merge.  Pool runs read the in-process
+    scheduler telemetry, which the parent updates as results arrive.
+    """
+    from repro.obs import fleet_samples, telemetry_samples
+
+    if fleet is not None:
+        from repro.resilience.fleet import fleet_dir
+
+        run_dir = fleet_dir(args.journal_dir, fleet.run_id)
+
+        def snap():
+            try:
+                return fleet_samples(
+                    run_dir, run_id=fleet.run_id, command=command
+                )
+            except ReproError:
+                # scraped before the workers created the run directory:
+                # serve the still-zero telemetry instead of a 500
+                return telemetry_samples(
+                    fleet.telemetry, run_id=fleet.run_id, command=command
+                )
+
+        return snap
+    tele = resilience.telemetry
+    run_id = resilience.journal.run_id if resilience.journal else None
+
+    def snap():
+        return telemetry_samples(
+            tele,
+            cache_stats=cache.stats() if cache is not None else None,
+            run_id=run_id,
+            command=command,
+            jobs_total=jobs_total,
+            flight_dumps=_pool_flight_dumps(args, resilience),
+        )
+
+    return snap
+
+
+def _metrics_server(
+    args: argparse.Namespace, *, command: str, fleet=None, resilience=None,
+    cache=None, jobs_total: int | None = None,
+):
+    """``--metrics-port``: a scrape endpoint alive for the run's span,
+    or a no-op context manager when the flag is absent."""
+    from contextlib import nullcontext
+
+    if getattr(args, "metrics_port", None) is None:
+        return nullcontext(None)
+    from repro.obs import MetricsServer
+
+    return MetricsServer(
+        _metrics_snapshot(
+            args, command=command, fleet=fleet, resilience=resilience,
+            cache=cache, jobs_total=jobs_total,
+        ),
+        port=args.metrics_port,
+    )
+
+
+def _write_metrics_sidecar(
+    args: argparse.Namespace, *, command: str, fleet=None, resilience=None,
+    cache=None, jobs_total: int | None = None,
+) -> None:
+    """Write the ``--metrics`` exposition sidecar at the end of a run."""
+    if not getattr(args, "metrics", None):
+        return
+    if fleet is None and resilience is None:
+        print(
+            "note: --metrics needs the scheduler; add --jobs, --fleet, "
+            "or a resilience flag",
+            file=sys.stderr,
+        )
+        return
+    from repro.obs import write_metrics_text
+
+    samples = _metrics_snapshot(
+        args, command=command, fleet=fleet, resilience=resilience,
+        cache=cache, jobs_total=jobs_total,
+    )()
+    print(f"metrics written to {write_metrics_text(args.metrics, samples)}")
+
+
+def _write_run_trace(
+    args: argparse.Namespace, *, resilience=None, fleet=None
+) -> None:
+    """``--trace`` under supervision: stitch the trace from the run's
+    journal(s) — per-worker lanes for fleet runs, a synthetic span tree
+    for journaled pool runs — instead of an in-process profiler."""
+    if not getattr(args, "trace", None):
+        return
+    if fleet is not None:
+        from repro.obs import write_fleet_trace
+        from repro.resilience.fleet import fleet_dir
+
+        path = write_fleet_trace(
+            fleet_dir(args.journal_dir, fleet.run_id), args.trace
+        )
+        print(f"stitched fleet trace written to {path}")
+    elif resilience is not None and resilience.journal is not None:
+        from repro.obs import write_journal_trace
+
+        path = write_journal_trace(resilience.journal.path, args.trace)
+        print(f"journal trace written to {path}")
+    else:
+        print(
+            "note: --trace under supervision needs a run journal; "
+            "drop --no-journal",
+            file=sys.stderr,
+        )
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     rows = [
         [cls.name, cls.category, cls.paper_speedup, cls.default_system.gpu.name]
@@ -356,7 +497,16 @@ def cmd_table1(args: argparse.Namespace) -> int:
             else:
                 resilience = _make_resilience(args, command="table1")
             try:
-                with _sigterm_as_interrupt():
+                with _sigterm_as_interrupt(), _metrics_server(
+                    args, command="table1", fleet=fleet,
+                    resilience=resilience, cache=cache,
+                    jobs_total=len(ALL_BENCHMARKS),
+                ) as metrics_srv:
+                    if metrics_srv is not None:
+                        print(
+                            f"metrics: serving on {metrics_srv.url}",
+                            file=sys.stderr,
+                        )
                     report = parallel_suite(
                         jobs=args.jobs, cache=cache,
                         resilience=None if fleet is not None else resilience,
@@ -365,6 +515,12 @@ def cmd_table1(args: argparse.Namespace) -> int:
             except KeyboardInterrupt:
                 return _interrupted(resilience, fleet)
         else:
+            if getattr(args, "metrics_port", None) is not None:
+                print(
+                    "note: --metrics-port needs the scheduler; add "
+                    "--jobs, --fleet, or a resilience flag",
+                    file=sys.stderr,
+                )
             report = run_suite()
     if _resume_noop(args, resilience):
         _print_resume_noop(args, resilience)
@@ -372,6 +528,11 @@ def cmd_table1(args: argparse.Namespace) -> int:
             args, cache, benchmark="table1", jobs=args.jobs,
             resilience=resilience,
         )
+        _write_metrics_sidecar(
+            args, command="table1", fleet=fleet, resilience=resilience,
+            cache=cache, jobs_total=len(ALL_BENCHMARKS),
+        )
+        _write_run_trace(args, resilience=resilience, fleet=fleet)
         return _sched_status(0 if report.all_verified else 1, resilience)
     print(report.render())
     if args.out:
@@ -383,6 +544,11 @@ def cmd_table1(args: argparse.Namespace) -> int:
     _write_sched_stats(
         args, cache, benchmark="table1", jobs=args.jobs, resilience=resilience
     )
+    _write_metrics_sidecar(
+        args, command="table1", fleet=fleet, resilience=resilience,
+        cache=cache, jobs_total=len(ALL_BENCHMARKS),
+    )
+    _write_run_trace(args, resilience=resilience, fleet=fleet)
     return _sched_status(0 if report.all_verified else 1, resilience)
 
 
@@ -422,11 +588,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     resilience = None
     if _resilience_requested(args):
-        if args.trace or args.json or args.ndjson:
+        if args.json or args.ndjson:
             print(
-                "note: --trace/--json/--ndjson are not collected when a "
-                "run is supervised; rerun without resilience flags to "
-                "profile",
+                "note: --json/--ndjson are not collected when a run is "
+                "supervised; rerun without resilience flags to profile "
+                "(--trace is stitched from the run journal instead)",
                 file=sys.stderr,
             )
         from repro.core.base import BenchResult
@@ -461,6 +627,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if result.notes:
         print(result.notes)
     _export_profile(prof, args, args.benchmark, params)
+    if resilience is not None:
+        _write_run_trace(args, resilience=resilience)
     return _sched_status(0 if result.verified else 1, resilience)
 
 
@@ -478,10 +646,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "--jobs, --fleet/--join, and the resilience flags need "
                 "explicit --values to decompose the sweep into jobs"
             )
-        if args.trace or args.json or args.ndjson:
+        if args.json or args.ndjson:
             print(
-                "note: --trace/--json/--ndjson only observe the parent "
-                "process; worker activity is not profiled under --jobs",
+                "note: --json/--ndjson only observe the parent process; "
+                "worker activity is not profiled under --jobs (--trace "
+                "is stitched from the run journal instead)",
                 file=sys.stderr,
             )
         from repro.sched import parallel_sweep
@@ -492,7 +661,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         else:
             resilience = _make_resilience(args, command="sweep")
         try:
-            with _sigterm_as_interrupt():
+            with _sigterm_as_interrupt(), _metrics_server(
+                args, command="sweep", fleet=fleet, resilience=resilience,
+                cache=cache, jobs_total=len(values),
+            ) as metrics_srv:
+                if metrics_srv is not None:
+                    print(
+                        f"metrics: serving on {metrics_srv.url}",
+                        file=sys.stderr,
+                    )
                 sweep = parallel_sweep(
                     args.benchmark,
                     values,
@@ -508,6 +685,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             return _interrupted(resilience, fleet)
         prof = None
     else:
+        if getattr(args, "metrics_port", None) is not None:
+            print(
+                "note: --metrics-port needs the scheduler; add --jobs, "
+                "--fleet, or a resilience flag",
+                file=sys.stderr,
+            )
         system = get_system(args.system) if args.system else None
         with _backend_scope(args):
             bench = get_benchmark(args.benchmark, system)
@@ -519,6 +702,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             args, cache, benchmark=args.benchmark, jobs=args.jobs,
             resilience=resilience,
         )
+        _write_metrics_sidecar(
+            args, command="sweep", fleet=fleet, resilience=resilience,
+            cache=cache, jobs_total=len(values) if values else None,
+        )
+        _write_run_trace(args, resilience=resilience, fleet=fleet)
         return _sched_status(0, resilience)
     print(sweep.render())
     if args.out:
@@ -536,7 +724,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         args, cache, benchmark=args.benchmark, jobs=args.jobs,
         resilience=resilience,
     )
+    _write_metrics_sidecar(
+        args, command="sweep", fleet=fleet, resilience=resilience,
+        cache=cache, jobs_total=len(values) if values else None,
+    )
     _export_profile(prof, args, args.benchmark, params)
+    if prof is None and (fleet is not None or resilience is not None):
+        _write_run_trace(args, resilience=resilience, fleet=fleet)
     return _sched_status(0, resilience)
 
 
@@ -832,6 +1026,39 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live read-only view of a fleet run (``repro top <run-id>``).
+
+    Scans the shared coordination directory with the same torn-tolerant
+    readers the merge uses and never writes anything, so watching a run
+    cannot change its merged result (the CLI tests assert the merged
+    document is byte-identical with and without a monitor attached).
+    Refreshes every ``--interval`` seconds until the run has no jobs
+    left; ``--once`` prints a single snapshot and exits.
+    """
+    import time
+
+    from repro.obs import fleet_status, render_fleet_status
+    from repro.resilience.fleet import fleet_dir
+
+    run_dir = fleet_dir(args.journal_dir, args.run_id)
+    ttl = args.lease_ttl if args.lease_ttl is not None else 5.0
+    try:
+        while True:
+            status = fleet_status(run_dir, ttl_s=ttl)
+            if not args.once and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(render_fleet_status(status))
+            if args.once:
+                return 0
+            if status["jobs_total"] and not status["jobs_remaining"]:
+                print("run complete")
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _age(seconds: float) -> str:
     """A compact human age like ``3d4h`` / ``12m`` for journal listings."""
     seconds = max(0.0, seconds)
@@ -869,7 +1096,13 @@ def cmd_journal_ls(args: argparse.Namespace) -> int:
 
 
 def cmd_journal_show(args: argparse.Namespace) -> int:
-    from repro.resilience import RunJournal, list_runs
+    from repro.obs import (
+        list_flight_dumps,
+        read_flight_dump,
+        read_journal_entries,
+        trace_id_for_run,
+    )
+    from repro.resilience import list_runs
     from repro.resilience.fleet import fleet_dir
 
     root = Path(args.journal_dir)
@@ -881,15 +1114,55 @@ def cmd_journal_show(args: argparse.Namespace) -> int:
             f"no journaled run {args.run_id!r} under {root}; "
             "see 'repro journal ls'"
         )
+    filtering = bool(args.trace or args.span)
+
+    def matches(meta: dict[str, Any]) -> bool:
+        if args.trace and not str(
+            meta.get("trace_id") or ""
+        ).startswith(args.trace):
+            return False
+        if args.span and not str(
+            meta.get("span_id") or ""
+        ).startswith(args.span):
+            return False
+        return True
+
+    def show_flight_dumps(dump_dir: Path) -> None:
+        dumps = list_flight_dumps(dump_dir)
+        if not dumps:
+            return
+        print(f"  flight dumps ({len(dumps)}):")
+        for p in dumps:
+            try:
+                doc = read_flight_dump(p)
+            except (OSError, ValueError):
+                print(f"    {p.name}  <unreadable>")
+                continue
+            print(
+                f"    {p.name}  reason={doc.get('reason', '?')} "
+                f"records={len(doc.get('records') or [])} "
+                f"dropped={doc.get('dropped', 0)}"
+            )
+
     if entry["kind"] == "run":
-        header, completed = RunJournal._load(Path(entry["path"]))
+        header, entries = read_journal_entries(Path(entry["path"]))
         print(
             f"run {args.run_id}: command={header.get('command', '-')} "
-            f"jobs={len(completed)}"
+            f"jobs={len(entries)} trace={trace_id_for_run(args.run_id)}"
         )
-        for fp, payload in completed.items():
-            kind = (payload or {}).get("kind", "?")
-            print(f"  {fp[:16]}  {kind}")
+        shown = 0
+        for e in entries:
+            meta = e.get("meta") or {}
+            if not matches(meta):
+                continue
+            shown += 1
+            kind = (e.get("payload") or {}).get("kind", "?")
+            bench = meta.get("benchmark") or "?"
+            span = (meta.get("span_id") or "-")[:16]
+            print(f"  {e['job'][:16]}  {kind:<6} {bench:<14} span={span}")
+        if filtering:
+            print(f"  {shown}/{len(entries)} job(s) matched")
+        show_flight_dumps(root / "flightrec" / args.run_id)
         return 0
     run_dir = fleet_dir(root, args.run_id)
     import json as _json
@@ -898,13 +1171,30 @@ def cmd_journal_show(args: argparse.Namespace) -> int:
     total = len(manifest.get("jobs", []))
     print(
         f"fleet run {args.run_id}: command={manifest.get('command', '-')} "
-        f"jobs={total}"
+        f"jobs={total} trace={trace_id_for_run(args.run_id)}"
     )
     resolved: set[str] = set()
+    shown = scanned = 0
     for jf in sorted((run_dir / "journals").glob("*.ndjson")):
-        _, done = RunJournal._load(jf)
-        resolved.update(done)
-        print(f"  worker {jf.stem}: {len(done)} completed")
+        _, entries = read_journal_entries(jf)
+        resolved.update(e["job"] for e in entries)
+        scanned += len(entries)
+        if filtering:
+            for e in entries:
+                meta = e.get("meta") or {}
+                if not matches(meta):
+                    continue
+                shown += 1
+                bench = meta.get("benchmark") or "?"
+                span = (meta.get("span_id") or "-")[:16]
+                print(
+                    f"  {e['job'][:16]}  {bench:<14} span={span}  "
+                    f"worker={jf.stem}"
+                )
+        else:
+            print(f"  worker {jf.stem}: {len(entries)} completed")
+    if filtering:
+        print(f"  {shown}/{scanned} journaled job(s) matched")
     quarantined = list((run_dir / "quarantine").glob("*.json")) if (
         run_dir / "quarantine"
     ).is_dir() else []
@@ -918,6 +1208,7 @@ def cmd_journal_show(args: argparse.Namespace) -> int:
     )
     if len(resolved) < total:
         print(f"  finish with: repro <command> ... --join {args.run_id}")
+    show_flight_dumps(run_dir / "flightrec")
     return 0
 
 
@@ -939,7 +1230,8 @@ def cmd_journal_gc(args: argparse.Namespace) -> int:
         print(
             f"swept {summary['stale_leases_evicted']} stale lease(s), "
             f"{summary['steal_remnants_removed']} steal remnant(s), "
-            f"{summary['tmp_files_removed']} tmp file(s)"
+            f"{summary['tmp_files_removed']} tmp file(s), "
+            f"{summary['flight_dump_dirs_removed']} flight-dump dir(s)"
         )
     return 0
 
@@ -1045,15 +1337,33 @@ def build_parser() -> argparse.ArgumentParser:
             help="lease heartbeat interval (default: lease TTL / 3)",
         )
 
+    def add_obs_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--metrics", metavar="PATH",
+            help="write a Prometheus text-format metrics sidecar here "
+            "when the run finishes (scheduled runs only)",
+        )
+        sp.add_argument(
+            "--metrics-port", type=int, default=None, metavar="PORT",
+            help="serve GET /metrics live during the run on this port "
+            "(0 = ephemeral; the resolved URL is printed on stderr)",
+        )
+
     sub.add_parser("list", help="list the fourteen microbenchmarks").set_defaults(
         fn=cmd_list
     )
     table1_p = sub.add_parser("table1", help="run the full suite and print Table I")
     table1_p.add_argument("--out", help="write the Table I result document here")
+    table1_p.add_argument(
+        "--trace",
+        help="write a Chrome trace stitched from the run journal here "
+        "(journaled and fleet runs)",
+    )
     add_backend_flag(table1_p)
     add_sched_flags(table1_p)
     add_resilience_flags(table1_p)
     add_fleet_flags(table1_p)
+    add_obs_flags(table1_p)
     table1_p.set_defaults(fn=cmd_table1)
     sub.add_parser("specs", help="show the preset GPU architectures").set_defaults(
         fn=cmd_specs
@@ -1088,6 +1398,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_resilience_flags(sweep_p)
     add_fleet_flags(sweep_p)
     add_export_flags(sweep_p)
+    add_obs_flags(sweep_p)
     sweep_p.set_defaults(fn=cmd_sweep)
 
     journal_p = sub.add_parser(
@@ -1108,6 +1419,14 @@ def build_parser() -> argparse.ArgumentParser:
     jls_p.set_defaults(fn=cmd_journal_ls)
     jshow_p = jsub.add_parser("show", help="show one run's journaled jobs")
     jshow_p.add_argument("run_id", help="run id as printed by journal ls")
+    jshow_p.add_argument(
+        "--trace", metavar="TRACE_ID",
+        help="only show jobs whose trace id starts with this prefix",
+    )
+    jshow_p.add_argument(
+        "--span", metavar="SPAN_ID",
+        help="only show jobs whose span id starts with this prefix",
+    )
     add_journal_dir(jshow_p)
     jshow_p.set_defaults(fn=cmd_journal_show)
     jgc_p = jsub.add_parser(
@@ -1125,6 +1444,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_journal_dir(jgc_p)
     jgc_p.set_defaults(fn=cmd_journal_gc)
+
+    top_p = sub.add_parser(
+        "top", help="live read-only view of a running fleet"
+    )
+    top_p.add_argument("run_id", help="fleet run id (see 'journal ls')")
+    top_p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default 2)",
+    )
+    top_p.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit instead of refreshing",
+    )
+    top_p.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="staleness threshold for worker health (default 5)",
+    )
+    add_journal_dir(top_p)
+    top_p.set_defaults(fn=cmd_top)
 
     profile_p = sub.add_parser(
         "profile", help="run one microbenchmark under the profiler"

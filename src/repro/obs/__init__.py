@@ -1,0 +1,88 @@
+"""``repro.obs`` — the cross-process observability plane.
+
+Four pieces, built on the activity hub of :mod:`repro.prof` and the
+run journals of :mod:`repro.resilience`:
+
+* **distributed tracing** (:mod:`~repro.obs.trace`,
+  :mod:`~repro.obs.stitch`) — deterministic
+  :class:`~repro.obs.trace.TraceContext` ids minted per run, stamped
+  onto every activity record, and stitched across fleet workers into
+  one Chrome trace with per-worker lanes;
+* **live monitoring** (:mod:`~repro.obs.top`) — ``repro top``, a
+  read-only view over a running fleet's shared directory;
+* **metrics exposition** (:mod:`~repro.obs.metrics`,
+  :mod:`~repro.obs.server`) — Prometheus text-format samples over the
+  scheduler telemetry, written as a ``--metrics`` sidecar or served
+  live on ``--metrics-port``;
+* **flight recorder** (:mod:`~repro.obs.flight`) — a bounded ring of
+  recent activity per worker, dumped atomically on the way down.
+
+See ``docs/observability.md`` for the trace model, the metric name
+registry, and the flight-recorder dump format.
+"""
+
+from repro.obs.flight import (
+    DEFAULT_CAPACITY,
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    list_flight_dumps,
+    read_flight_dump,
+)
+from repro.obs.metrics import (
+    Sample,
+    fleet_samples,
+    parse_prometheus_text,
+    prometheus_text,
+    telemetry_samples,
+    write_metrics_text,
+)
+from repro.obs.server import MetricsServer
+from repro.obs.stitch import (
+    ActivitySink,
+    fleet_chrome_trace,
+    journal_chrome_trace,
+    read_journal_entries,
+    read_worker_activity,
+    write_fleet_trace,
+    write_journal_trace,
+)
+from repro.obs.top import fleet_status, render_fleet_status
+from repro.obs.trace import (
+    ROOT_SPAN_KEY,
+    TraceContext,
+    job_span_key,
+    trace_id_for_run,
+)
+
+__all__ = [
+    # trace
+    "TraceContext",
+    "trace_id_for_run",
+    "job_span_key",
+    "ROOT_SPAN_KEY",
+    # stitch
+    "ActivitySink",
+    "read_worker_activity",
+    "read_journal_entries",
+    "fleet_chrome_trace",
+    "write_fleet_trace",
+    "journal_chrome_trace",
+    "write_journal_trace",
+    # metrics
+    "Sample",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "telemetry_samples",
+    "fleet_samples",
+    "write_metrics_text",
+    "MetricsServer",
+    # flight recorder
+    "FlightRecorder",
+    "FLIGHT_FORMAT",
+    "DEFAULT_CAPACITY",
+    "read_flight_dump",
+    "list_flight_dumps",
+    # live monitoring
+    "fleet_status",
+    "render_fleet_status",
+]

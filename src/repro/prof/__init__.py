@@ -26,7 +26,7 @@ from repro.prof.metrics import (
     validate_document,
     write_metrics,
 )
-from repro.prof.ndjson import read_ndjson, write_ndjson
+from repro.prof.ndjson import read_ndjson, record_from_json, record_to_json, write_ndjson
 from repro.prof.roofline import RooflinePoint, classify_kernel, peak_lane_ops, render_roofline
 from repro.prof.session import Profiler, profile_session
 
@@ -52,6 +52,8 @@ __all__ = [
     "validate_document",
     "write_metrics",
     "read_ndjson",
+    "record_from_json",
+    "record_to_json",
     "write_ndjson",
     "RooflinePoint",
     "classify_kernel",

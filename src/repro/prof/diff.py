@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.common.errors import ReproError
 from repro.common.tables import render_table
 
 __all__ = [
@@ -168,24 +169,76 @@ class DiffReport:
         return "\n".join(lines)
 
 
+def _section(doc: dict[str, Any], key: str, label: str) -> dict[str, Any]:
+    """A document's *optional* mapping section.
+
+    Absent or ``null`` sections read as empty — a results-only document
+    diffs fine against a kernels-only one — but a section of the wrong
+    shape is a pointed error naming the document and the section, not a
+    ``KeyError``/``AttributeError`` three frames deep.
+    """
+    value = doc.get(key)
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise ReproError(
+            f"{label}: section {key!r} must be a JSON object, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _entry(kernels: dict[str, Any], name: str, label: str) -> dict[str, Any]:
+    entry = kernels[name]
+    if not isinstance(entry, dict):
+        raise ReproError(
+            f"{label}: kernel {name!r} entry must be a JSON object, "
+            f"got {type(entry).__name__}"
+        )
+    return entry
+
+
+def _num(value: Any, *, label: str, where: str) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"{label}: {where} must be a number, got {value!r}"
+        ) from None
+
+
 def _kernel_diffs(
     name: str,
     before: dict[str, Any],
     after: dict[str, Any],
     time_tol: float,
     metric_tol: float,
+    *,
+    before_label: str = "before",
+    after_label: str = "after",
 ) -> list[DiffEntry]:
     out: list[DiffEntry] = []
 
-    t0 = float(before.get("time_avg_s", 0.0))
-    t1 = float(after.get("time_avg_s", 0.0))
+    t0 = _num(
+        before.get("time_avg_s", 0.0),
+        label=before_label, where=f"kernel {name!r} time_avg_s",
+    )
+    t1 = _num(
+        after.get("time_avg_s", 0.0),
+        label=after_label, where=f"kernel {name!r} time_avg_s",
+    )
     regressed = t0 > 0 and t1 > t0 * (1.0 + time_tol)
     out.append(DiffEntry(name, "time_avg_s", t0, t1, regressed))
 
-    m0 = before.get("metrics", {})
-    m1 = after.get("metrics", {})
+    m0 = _section(before, "metrics", f"{before_label} kernel {name!r}")
+    m1 = _section(after, "metrics", f"{after_label} kernel {name!r}")
     for key in sorted(set(m0) & set(m1)):
-        v0, v1 = float(m0[key]), float(m1[key])
+        v0 = _num(
+            m0[key], label=before_label, where=f"kernel {name!r} metric {key}"
+        )
+        v1 = _num(
+            m1[key], label=after_label, where=f"kernel {name!r} metric {key}"
+        )
         if key in HIGHER_IS_BETTER:
             regressed = v1 < v0 - metric_tol
         elif key in LOWER_IS_BETTER:
@@ -213,15 +266,31 @@ def _bench_diffs(
     before: dict[str, Any],
     after: dict[str, Any],
     time_tol: float,
+    *,
+    before_label: str = "before",
+    after_label: str = "after",
 ) -> list[DiffEntry]:
     out: list[DiffEntry] = []
-    s0 = float(before.get("speedup", 0.0))
-    s1 = float(after.get("speedup", 0.0))
+    s0 = _num(
+        before.get("speedup", 0.0),
+        label=before_label, where=f"benchmark {name!r} speedup",
+    )
+    s1 = _num(
+        after.get("speedup", 0.0),
+        label=after_label, where=f"benchmark {name!r} speedup",
+    )
     regressed = s0 > 0 and s1 < s0 * (1.0 - time_tol)
     out.append(DiffEntry(name, "speedup", s0, s1, regressed))
     for key in ("baseline_time_s", "optimized_time_s"):
         if key in before and key in after:
-            t0, t1 = float(before[key]), float(after[key])
+            t0 = _num(
+                before[key], label=before_label,
+                where=f"benchmark {name!r} {key}",
+            )
+            t1 = _num(
+                after[key], label=after_label,
+                where=f"benchmark {name!r} {key}",
+            )
             regressed = t0 > 0 and t1 > t0 * (1.0 + time_tol)
             out.append(DiffEntry(name, key, t0, t1, regressed))
     return out
@@ -244,26 +313,45 @@ def diff_metrics(
     result-level claims are evaluated against ``after`` and failures
     count as regressions.
     """
+    for label, doc in ((before_label, before), (after_label, after)):
+        if not isinstance(doc, dict):
+            raise ReproError(
+                f"{label}: metrics document must be a JSON object, "
+                f"got {type(doc).__name__}"
+            )
     report = DiffReport(
         before_label=before_label,
         after_label=after_label,
         time_tolerance=time_tolerance,
         metric_tolerance=metric_tolerance,
     )
-    k0 = before.get("kernels", {})
-    k1 = after.get("kernels", {})
+    k0 = _section(before, "kernels", before_label)
+    k1 = _section(after, "kernels", after_label)
     report.removed_kernels = sorted(set(k0) - set(k1))
     report.added_kernels = sorted(set(k1) - set(k0))
     for name in sorted(set(k0) & set(k1)):
         report.entries.extend(
-            _kernel_diffs(name, k0[name], k1[name], time_tolerance, metric_tolerance)
+            _kernel_diffs(
+                name,
+                _entry(k0, name, before_label),
+                _entry(k1, name, after_label),
+                time_tolerance,
+                metric_tolerance,
+                before_label=before_label,
+                after_label=after_label,
+            )
         )
     b0 = _bench_results(before)
     b1 = _bench_results(after)
     report.removed_benchmarks = sorted(set(b0) - set(b1))
     report.added_benchmarks = sorted(set(b1) - set(b0))
     for name in sorted(set(b0) & set(b1)):
-        report.entries.extend(_bench_diffs(name, b0[name], b1[name], time_tolerance))
+        report.entries.extend(
+            _bench_diffs(
+                name, b0[name], b1[name], time_tolerance,
+                before_label=before_label, after_label=after_label,
+            )
+        )
     if claim_specs is not None:
         from repro.check.claims import evaluate_claims_on_document
 

@@ -282,7 +282,12 @@ class _EventLog:
         self._fh = path.open("a")
 
     def emit(self, event: str, **args: Any) -> None:
-        rec = {"event": event, "worker": self.worker_id, **args}
+        # "t" (wall clock) feeds the read-only monitor's last-seen /
+        # ETA columns; it never enters merged payloads or traces
+        rec = {
+            "event": event, "worker": self.worker_id,
+            "t": time.time(), **args,
+        }
         self._fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
         self._fh.flush()
 
@@ -362,6 +367,7 @@ def _quarantine_job(run_dir: Path, fp: str, info: dict[str, Any]) -> None:
 
 def _execute_with_retries(
     spec: "JobSpec", ordinal: int, cfg: FleetConfig, events: _EventLog,
+    sink=None,
 ) -> dict[str, Any] | None:
     """One claimed job through the retry ladder; None when poisoned.
 
@@ -369,6 +375,10 @@ def _execute_with_retries(
     ``(ordinal, attempt)``, so a fleet run injects exactly the faults a
     supervised-pool run of the same plan would — which is what keeps
     the byte-identity property assertable across execution modes.
+
+    ``sink`` is the worker's :class:`~repro.obs.stitch.ActivitySink`:
+    each attempt restarts its buffer, so only the successful attempt's
+    activity is ever published (the caller commits after journaling).
     """
     from repro.sched.runner import execute_job
 
@@ -377,6 +387,8 @@ def _execute_with_retries(
     attempts = 0
     fell_back = False
     while True:
+        if sink is not None:
+            sink.begin(ordinal)
         try:
             if chaos is not None:
                 if (
@@ -442,6 +454,12 @@ def fleet_worker(specs: Sequence["JobSpec"], cfg: FleetConfig) -> int:
     file, and steals from dead or stalled peers.  Returns the number
     of jobs this worker completed.
     """
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.stitch import ActivitySink
+    from repro.obs.trace import TraceContext
+    from repro.prof.activity import ActivityHub
+    from repro.sanitize.session import sanitize_session
+
     chaos = cfg.chaos
     run_dir = fleet_dir(cfg.journal_root, cfg.run_id)
     manifest = ensure_manifest(
@@ -461,6 +479,28 @@ def fleet_worker(specs: Sequence["JobSpec"], cfg: FleetConfig) -> int:
     events = _EventLog(
         run_dir / "events" / f"{cfg.worker_id}.ndjson", cfg.worker_id
     )
+    # observability plane: a worker-local hub captures the benchmark's
+    # own activity (kernels, copies, launches) through the ambient
+    # session, publishes successful jobs' records for trace stitching,
+    # and keeps a flight-recorder ring for crash post-mortems
+    hub = ActivityHub()
+    root_ctx = TraceContext.root(cfg.run_id)
+    hub.trace = root_ctx
+    sink = ActivitySink(
+        run_dir / "activity" / f"{cfg.worker_id}.ndjson",
+        worker=cfg.worker_id,
+    )
+    hub.subscribe(sink)
+    recorder = FlightRecorder(worker=cfg.worker_id, run_id=cfg.run_id)
+    hub.subscribe(recorder)
+
+    def flight_dump(reason: str) -> None:
+        if len(recorder):
+            try:
+                recorder.dump(run_dir / "flightrec", reason=reason)
+            except OSError:  # pragma: no cover - best-effort on the way down
+                pass
+
     completed_here = 0
     try:
         while True:
@@ -492,6 +532,7 @@ def fleet_worker(specs: Sequence["JobSpec"], cfg: FleetConfig) -> int:
                     events.emit(
                         "chaos-kill", job=ordinal, epoch=lease.epoch
                     )
+                    flight_dump(f"chaos-kill-{ordinal}")
                     os._exit(9)
                 if corrupt:
                     # tear our own lease on disk: peers now read garbage
@@ -504,6 +545,7 @@ def fleet_worker(specs: Sequence["JobSpec"], cfg: FleetConfig) -> int:
                         path.write_bytes(data[: max(1, len(data) // 2)])
                     except OSError:
                         pass
+                job_ctx = root_ctx.job(ordinal)
                 if action == "stall" and cfg.lethal:
                     # miss every heartbeat and outlive the TTL: a peer
                     # steals the lease mid-run and our completion below
@@ -512,19 +554,22 @@ def fleet_worker(specs: Sequence["JobSpec"], cfg: FleetConfig) -> int:
                         "heartbeat-stall", job=ordinal, epoch=lease.epoch
                     )
                     time.sleep(cfg.lease_ttl_s + 2 * cfg.heartbeat_s)
-                    payload = _execute_with_retries(
-                        spec_by_fp[fp], ordinal, cfg, events
-                    )
+                    with hub.span(job_ctx), sanitize_session(hub=hub):
+                        payload = _execute_with_retries(
+                            spec_by_fp[fp], ordinal, cfg, events, sink
+                        )
                 else:
                     with _Heartbeat(
                         leases, lease, cfg.heartbeat_s, events, ordinal
                     ) as hb:
                         if corrupt:
                             hb._stop.set()
-                        payload = _execute_with_retries(
-                            spec_by_fp[fp], ordinal, cfg, events
-                        )
+                        with hub.span(job_ctx), sanitize_session(hub=hub):
+                            payload = _execute_with_retries(
+                                spec_by_fp[fp], ordinal, cfg, events, sink
+                            )
                 if payload is None:
+                    sink.abort()
                     _quarantine_job(run_dir, fp, {
                         "benchmark": spec_by_fp[fp].benchmark,
                         "job": ordinal,
@@ -532,6 +577,7 @@ def fleet_worker(specs: Sequence["JobSpec"], cfg: FleetConfig) -> int:
                         "attempts": cfg.max_retries + 1,
                     })
                     events.emit("quarantine", job=ordinal)
+                    flight_dump(f"quarantine-{ordinal}")
                     leases.release(lease)
                     continue
                 journal.record(fp, payload, meta={
@@ -539,7 +585,9 @@ def fleet_worker(specs: Sequence["JobSpec"], cfg: FleetConfig) -> int:
                     "worker": cfg.worker_id,
                     "job": ordinal,
                     "epoch": lease.epoch,
+                    **job_ctx.as_dict(),
                 })
+                sink.commit()
                 completed_here += 1
                 released = leases.release(lease)
                 events.emit(
@@ -549,9 +597,15 @@ def fleet_worker(specs: Sequence["JobSpec"], cfg: FleetConfig) -> int:
             if not progress:
                 time.sleep(cfg.poll_s)
         events.emit("worker-exit", completed=completed_here)
+    except ReproError:
+        # exiting nonzero (entry point maps this to exit 21): preserve
+        # the last activity for the post-mortem before unwinding
+        flight_dump("fatal")
+        raise
     finally:
         journal.close()
         events.close()
+        sink.close()
     return completed_here
 
 
@@ -618,9 +672,11 @@ def merge_fleet(
             f"{len(missing)}/{len(fingerprints)} job(s) never journaled"
         )
     payloads: list[dict[str, Any]] = []
+    winners: list[tuple[int, str]] = []
     for ordinal, (fp, spec) in enumerate(zip(fingerprints, specs)):
         records = all_records[fp]
         winner_worker, winner = records[0]
+        winners.append((ordinal, winner_worker))
         checksum = _payload_checksum(winner)
         for other_worker, other in records[1:]:
             tele.duplicate_completions += 1
@@ -645,6 +701,35 @@ def merge_fleet(
                     "disagrees with the result cache; refusing to merge"
                 )
         payloads.append(winner)
+    if hub is not None and hub.subscriber_count:
+        # thread each winning worker's published activity records into
+        # the caller's hub — device timelines and span identities
+        # survive the merge instead of collapsing into fleet-* summaries
+        from repro.obs.stitch import read_worker_activity
+        from repro.prof.ndjson import record_from_json
+
+        by_worker_job: dict[tuple[str, int], list[dict[str, Any]]] = {}
+        for worker, lines in read_worker_activity(run_dir).items():
+            for obj in lines:
+                try:
+                    j = int(obj.get("job"))
+                except (TypeError, ValueError):
+                    continue
+                by_worker_job.setdefault((worker, j), []).append(obj)
+        for ordinal, worker in winners:
+            for obj in by_worker_job.get((worker, ordinal), []):
+                rec = record_from_json(obj)
+                if not hub.wants(rec.kind):
+                    continue
+                track = f"{worker}:{rec.track}" if rec.track else worker
+                hub.dispatch(replace(
+                    rec, track=track,
+                    args={
+                        **rec.args,
+                        "fleet_worker": worker,
+                        "fleet_job": ordinal,
+                    },
+                ))
     for ev in _read_events(run_dir):
         name = ev.pop("event", "event")
         if name == "lease-acquire":

@@ -336,8 +336,10 @@ def gc_runs(
       journal file or fleet directory — whose newest mtime is older
       than the cutoff;
     * **stale-artifact cleanup** (always): expired lease files of every
-      surviving fleet run, ``stolen/`` steal remnants, and orphaned
-      ``*.tmp`` files from interrupted atomic writes.
+      surviving fleet run, ``stolen/`` steal remnants, orphaned
+      ``*.tmp`` files from interrupted atomic writes, and
+      ``flightrec/<run-id>/`` flight-recorder dump directories whose
+      run was removed above or no longer exists at all.
 
     Returns a summary dict; with ``dry_run`` nothing is deleted and
     ``removed`` lists what would have been.
@@ -391,11 +393,29 @@ def gc_runs(
                 tmps += 1
             except OSError:
                 pass
+    # pool flight-recorder dumps live beside the journals under
+    # flightrec/<run-id>/ — sweep the directories of runs removed above
+    # and of runs that no longer exist (orphaned dumps); fleet dumps
+    # live inside the run directory and go with its rmtree
+    flights = 0
+    flight_root = root / "flightrec"
+    if flight_root.is_dir():
+        removed_ids = {e["run_id"] for e in removed}
+        live = {
+            e["run_id"] for e in list_runs(root)
+        } - removed_ids
+        for dump_dir in sorted(flight_root.iterdir()):
+            if not dump_dir.is_dir() or dump_dir.name in live:
+                continue
+            flights += 1
+            if not dry_run:
+                shutil.rmtree(dump_dir, ignore_errors=True)
     return {
         "removed": removed,
         "kept": len(list_runs(root)) - (len(removed) if dry_run else 0),
         "stale_leases_evicted": leases_evicted,
         "steal_remnants_removed": remnants,
         "tmp_files_removed": tmps,
+        "flight_dump_dirs_removed": flights,
         "dry_run": dry_run,
     }

@@ -318,6 +318,7 @@ def run_supervised(
     arrive; the parent owns all cache/journal traffic, so workers stay
     side-effect-free.
     """
+    from repro.obs.trace import TraceContext
     from repro.resilience.journal import job_fingerprint
     from repro.sched.runner import _cache_key, execute_job
 
@@ -330,6 +331,28 @@ def run_supervised(
         tele.journal_run_id = journal.run_id
     if cache is not None and chaos is not None and cache.chaos is None:
         cache.chaos = chaos
+
+    # one run = one trace; span ids derive from the journal's run id so
+    # a --resume re-mints the identical tree
+    root_ctx = (
+        TraceContext.root(journal.run_id) if journal is not None else None
+    )
+
+    def job_ctx(spec: "JobSpec", ordinal: int) -> "TraceContext | None":
+        if spec.trace is not None:
+            return spec.trace
+        return root_ctx.job(ordinal) if root_ctx is not None else None
+
+    def job_meta(
+        spec: "JobSpec", ordinal: int, **extra: Any
+    ) -> dict[str, Any]:
+        meta: dict[str, Any] = {
+            "benchmark": spec.benchmark, "job": ordinal, **extra,
+        }
+        ctx = job_ctx(spec, ordinal)
+        if ctx is not None:
+            meta.update(ctx.as_dict())
+        return meta
 
     timeout = config.job_timeout_s
     if timeout is None and chaos is not None and chaos.worker_hang_prob > 0:
@@ -351,13 +374,30 @@ def run_supervised(
             if journal is not None:
                 journal.record(
                     fingerprint, hit,
-                    meta={"benchmark": spec.benchmark, "source": "cache"},
+                    meta=job_meta(spec, i, source="cache"),
                 )
             continue
         queue.append(_Task(i, spec, key, fingerprint))
 
     pool_enabled = jobs > 1 and len(queue) > 1
     tele.mode = "pool" if pool_enabled else "serial"
+
+    # flight recorder: keep the last records around so a quarantine can
+    # dump what the run was doing on the way down
+    recorder = None
+    recorder_sid = None
+    prev_trace = None
+    if hub is not None:
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(
+            worker="pool",
+            run_id=journal.run_id if journal is not None else None,
+        )
+        recorder_sid = hub.subscribe(recorder)
+        prev_trace = hub.trace
+        if root_ctx is not None:
+            hub.trace = root_ctx
 
     # -- shared completion / failure handling --------------------------
     def complete(task: _Task, payload: dict[str, Any]) -> None:
@@ -367,12 +407,12 @@ def run_supervised(
         if journal is not None:
             journal.record(
                 task.fingerprint, payload,
-                meta={
-                    "benchmark": task.spec.benchmark,
-                    "kind": task.spec.kind,
-                    "backend": task.spec.backend,
-                    "attempts": task.attempts + 1,
-                },
+                meta=job_meta(
+                    task.spec, task.index,
+                    kind=task.spec.kind,
+                    backend=task.spec.backend,
+                    attempts=task.attempts + 1,
+                ),
             )
         tele.completed += 1
         if chaos is not None and chaos.interrupts_after(tele.completed):
@@ -612,8 +652,16 @@ def run_supervised(
         for a in list(active.values()):
             stop_worker(a)
         active.clear()
+        if hub is not None and recorder_sid is not None:
+            hub.unsubscribe(recorder_sid)
+            hub.trace = prev_trace
 
     if tele.quarantined:
+        if recorder is not None and journal is not None and len(recorder):
+            recorder.dump(
+                journal.path.parent / "flightrec" / journal.run_id,
+                reason="quarantine",
+            )
         names = ", ".join(
             f"{q['benchmark']}#{q['job']}" for q in tele.quarantined
         )

@@ -34,6 +34,7 @@ from repro.exec.dispatch import current_backend_name, use_backend
 from repro.sched.cache import ResultCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceContext
     from repro.resilience.fleet import FleetConfig
     from repro.resilience.supervisor import ResilienceConfig
 
@@ -50,6 +51,10 @@ class JobSpec:
     values: tuple[Any, ...] | None = None
     system: str | None = None            #: preset name; None = paper default
     backend: str = "reference"
+    #: span identity of this job (repro.obs); excluded from comparison —
+    #: and from job_fingerprint / cache keys, which enumerate the work-
+    #: defining fields explicitly — so tracing never perturbs identity
+    trace: "TraceContext | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.kind not in ("run", "sweep"):

@@ -1,0 +1,78 @@
+"""MetricsServer: the --metrics-port scrape endpoint."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsServer, Sample, parse_prometheus_text
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, dict(resp.headers), resp.read().decode()
+
+
+@pytest.fixture()
+def server():
+    samples = [Sample("repro_jobs_total", 4, help="Jobs.", type="gauge")]
+    with MetricsServer(lambda: samples, port=0) as srv:
+        yield srv
+
+
+class TestRoutes:
+    def test_metrics_scrape_parses(self, server):
+        status, headers, body = fetch(server.url)
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        parsed = parse_prometheus_text(body)
+        assert [(s.name, s.value) for s in parsed] == [("repro_jobs_total", 4.0)]
+
+    def test_root_serves_metrics_too(self, server):
+        status, _, body = fetch(f"http://{server.host}:{server.port}/")
+        assert status == 200
+        assert "repro_jobs_total" in body
+
+    def test_healthz_204(self, server):
+        status, _, body = fetch(f"http://{server.host}:{server.port}/healthz")
+        assert status == 204
+        assert body == ""
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            fetch(f"http://{server.host}:{server.port}/nope")
+        assert exc.value.code == 404
+
+
+class TestSnapshotFailure:
+    def test_snapshot_exception_is_500_not_crash(self):
+        def boom():
+            raise RuntimeError("simulated")
+
+        with MetricsServer(boom, port=0) as srv:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                fetch(srv.url)
+            assert exc.value.code == 500
+            # the server survives a failed snapshot
+            with pytest.raises(urllib.error.HTTPError):
+                fetch(srv.url)
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolved(self, server):
+        assert server.port > 0
+        assert server.url.endswith("/metrics")
+
+    def test_live_snapshot_reflects_updates(self):
+        samples = [Sample("repro_jobs_completed_total", 0)]
+        with MetricsServer(lambda: samples, port=0) as srv:
+            _, _, before = fetch(srv.url)
+            samples[0] = Sample("repro_jobs_completed_total", 3)
+            _, _, after = fetch(srv.url)
+        assert "repro_jobs_completed_total 0" in before
+        assert "repro_jobs_completed_total 3" in after
+
+    def test_stop_is_idempotent(self):
+        srv = MetricsServer(lambda: [], port=0).start()
+        srv.stop()
+        srv.stop()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ReproError
 from repro.prof.diff import DiffReport, diff_metrics
 
 
@@ -181,3 +182,60 @@ class TestBenchDocuments:
         r = diff_metrics(d, d)
         assert r.ok and not r.changed()
         assert not r.added_benchmarks and not r.removed_benchmarks
+
+
+class TestMalformedDocuments:
+    """Hardening: malformed inputs raise pointed errors, not KeyError."""
+
+    def test_non_dict_document(self):
+        with pytest.raises(ReproError, match="before.*JSON object.*list"):
+            diff_metrics([1, 2], doc({}))
+
+    def test_non_dict_after_document_names_label(self):
+        with pytest.raises(ReproError, match="candidate.*JSON object"):
+            diff_metrics(doc({}), "nope", after_label="candidate")
+
+    def test_non_dict_kernels_section(self):
+        bad = {"schema": "repro-prof-metrics/1", "kernels": ["k1", "k2"]}
+        with pytest.raises(ReproError, match="'kernels' must be a JSON object"):
+            diff_metrics(bad, doc({}))
+
+    def test_null_kernels_section_reads_empty(self):
+        r = diff_metrics(
+            {"schema": "repro-prof-metrics/1", "kernels": None}, doc({})
+        )
+        assert r.ok and not r.entries
+
+    def test_non_dict_kernel_entry(self):
+        with pytest.raises(ReproError, match="kernel 'k' entry must be"):
+            diff_metrics(doc({"k": "fast"}), doc({"k": entry()}))
+
+    def test_non_numeric_time(self):
+        with pytest.raises(ReproError, match="time_avg_s must be a number"):
+            diff_metrics(
+                doc({"k": {"time_avg_s": "quick", "metrics": {}}}),
+                doc({"k": entry()}),
+            )
+
+    def test_non_numeric_metric_value_names_side(self):
+        before = doc({"k": entry(gld_efficiency=0.9)})
+        after = doc({"k": {"time_avg_s": 1e-3,
+                           "metrics": {"gld_efficiency": None}}})
+        with pytest.raises(
+            ReproError, match="after: kernel 'k' metric gld_efficiency"
+        ):
+            diff_metrics(before, after)
+
+    def test_non_dict_metrics_section(self):
+        bad = doc({"k": {"time_avg_s": 1e-3, "metrics": [0.9]}})
+        with pytest.raises(ReproError, match="'metrics' must be a JSON object"):
+            diff_metrics(bad, doc({"k": entry()}))
+
+    def test_non_numeric_speedup_in_bench_doc(self):
+        before = bench_doc([("B", 2.0, 1.0)])
+        after = {
+            "schema": "repro-prof-bench/1",
+            "results": [{"benchmark": "B", "speedup": "fast"}],
+        }
+        with pytest.raises(ReproError, match="benchmark 'B' speedup"):
+            diff_metrics(before, after)

@@ -745,3 +745,173 @@ class TestJournalCLI:
         ]) == 0
         assert "removed 1" in capsys.readouterr().out
         assert not (tmp_path / "jd" / "r1.ndjson").exists()
+
+
+class TestObsCLI:
+    """``repro top``, ``--metrics``, ``--trace`` stitching, show filters."""
+
+    def _fleet_sweep(self, tmp_path, run_id="f1", extra=()):
+        return main([
+            "sweep", "MemAlign", "--values", "8192,16384",
+            "--journal-dir", str(tmp_path / "jd"),
+            "--cache-dir", str(tmp_path / "cd"),
+            "--fleet", "1", "--run-id", run_id, *extra,
+        ])
+
+    def test_top_once_renders_completed_run(self, capsys, tmp_path):
+        assert self._fleet_sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert main([
+            "top", "f1", "--journal-dir", str(tmp_path / "jd"), "--once",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet f1" in out
+        assert "2/2 jobs (100%)" in out
+        assert "WORKER" in out
+
+    def test_top_unknown_run_exits_two(self, capsys, tmp_path):
+        assert main([
+            "top", "ghost", "--journal-dir", str(tmp_path / "jd"), "--once",
+        ]) == 2
+        assert "no fleet run directory" in capsys.readouterr().err
+
+    def test_fleet_trace_and_metrics_sidecar(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import TraceContext, parse_prometheus_text
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        assert self._fleet_sweep(tmp_path, extra=(
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+        )) == 0
+        out = capsys.readouterr().out
+        assert "stitched fleet trace written to" in out
+        assert "metrics written to" in out
+
+        samples = parse_prometheus_text(metrics_path.read_text())
+        by_name = {s.name: s for s in samples}
+        assert by_name["repro_jobs_completed_total"].value == 2.0
+        assert by_name["repro_run_info"].labels["mode"] == "fleet"
+
+        doc = json.loads(trace_path.read_text())
+        spans = [
+            e for e in doc["traceEvents"] if e.get("cat") == "span"
+        ]
+        roots = [e for e in spans if "parent_span_id" not in e["args"]]
+        assert len(roots) == 1
+        assert roots[0]["args"]["trace_id"] == TraceContext.root("f1").trace_id
+
+    def test_pool_trace_and_metrics_sidecar(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import parse_prometheus_text
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        assert main([
+            "sweep", "MemAlign", "--values", "8192,16384",
+            "--journal-dir", str(tmp_path / "jd"),
+            "--cache-dir", str(tmp_path / "cd"),
+            "--run-id", "r1",
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+        ]) == 0
+        assert "journal trace written to" in capsys.readouterr().out
+        samples = parse_prometheus_text(metrics_path.read_text())
+        by_name = {s.name: s for s in samples}
+        assert by_name["repro_run_info"].labels["run_id"] == "r1"
+        assert by_name["repro_jobs_completed_total"].value == 2.0
+        doc = json.loads(trace_path.read_text())
+        assert doc["otherData"]["run_id"] == "r1"
+
+    def test_journal_show_trace_and_span_filters(self, capsys, tmp_path):
+        from repro.obs import TraceContext, trace_id_for_run
+
+        assert main([
+            "sweep", "MemAlign", "--values", "8192",
+            "--journal-dir", str(tmp_path / "jd"),
+            "--cache-dir", str(tmp_path / "cd"),
+            "--run-id", "r1",
+        ]) == 0
+        capsys.readouterr()
+        base = ["journal", "show", "r1", "--journal-dir", str(tmp_path / "jd")]
+        tid = trace_id_for_run("r1")
+        assert main(base + ["--trace", tid[:8]]) == 0
+        out = capsys.readouterr().out
+        assert f"trace={tid}" in out
+        assert "1/1 job(s) matched" in out
+
+        span = TraceContext.root("r1").job(0).span_id
+        assert main(base + ["--span", span[:8]]) == 0
+        assert "1/1 job(s) matched" in capsys.readouterr().out
+
+        assert main(base + ["--span", "ffffffffffffffff"]) == 0
+        assert "0/1 job(s) matched" in capsys.readouterr().out
+
+    def test_journal_gc_sweeps_orphan_flightrec(self, capsys, tmp_path):
+        jd = tmp_path / "jd"
+        orphan = jd / "flightrec" / "gone-run"
+        orphan.mkdir(parents=True)
+        (orphan / "worker-crash.json").write_text("{}")
+        assert main([
+            "journal", "gc", "--older-than", "7", "--journal-dir", str(jd),
+        ]) == 0
+        assert "1 flight-dump dir(s)" in capsys.readouterr().out
+        assert not orphan.exists()
+
+    def test_monitor_does_not_perturb_merge(self, capsys, tmp_path):
+        import threading
+
+        from repro.common.errors import ReproError
+        from repro.obs import fleet_status
+        from repro.resilience.fleet import fleet_dir
+
+        plain = tmp_path / "plain.json"
+        watched = tmp_path / "watched.json"
+        assert self._fleet_sweep(
+            tmp_path, run_id="fa", extra=("--out", str(plain))
+        ) == 0
+
+        run_dir = fleet_dir(tmp_path / "jd", "fb")
+        stop = threading.Event()
+
+        def poll():
+            while not stop.is_set():
+                try:
+                    fleet_status(run_dir)
+                except ReproError:
+                    pass  # run dir not created yet
+                stop.wait(0.02)
+
+        watcher = threading.Thread(target=poll, daemon=True)
+        watcher.start()
+        try:
+            assert self._fleet_sweep(
+                tmp_path, run_id="fb", extra=("--out", str(watched))
+            ) == 0
+        finally:
+            stop.set()
+            watcher.join(timeout=10)
+        capsys.readouterr()
+        assert watched.read_bytes() == plain.read_bytes()
+
+    def test_quarantine_writes_flight_dump(self, capsys, tmp_path):
+        import json
+
+        assert main([
+            "sweep", "MemAlign", "--values", "16384",
+            "--chaos", "seed=3,crash=1.0,max-fault-attempts=99",
+            "--max-retries", "1", "--no-cache",
+            "--journal-dir", str(tmp_path / "jd"), "--run-id", "q1",
+        ]) == 2
+        capsys.readouterr()
+        dump = tmp_path / "jd" / "flightrec" / "q1" / "pool-quarantine.json"
+        doc = json.loads(dump.read_text())
+        assert doc["format"] == "repro-flight/1"
+        assert {r["name"] for r in doc["records"]} >= {"retry", "quarantine"}
+        assert all(r.get("trace_id") for r in doc["records"])
+        assert main([
+            "journal", "show", "q1", "--journal-dir", str(tmp_path / "jd"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pool-quarantine.json" in out and "reason=quarantine" in out

@@ -322,13 +322,19 @@ def _write_sched_stats(
 
     from repro.exec import current_backend_name
 
+    backend = current_backend_name(getattr(args, "backend", None))
     doc = {
         "schema": "repro-prof-sched/1",
         "benchmark": benchmark,
-        "backend": current_backend_name(getattr(args, "backend", None)),
+        "backend": backend,
         "jobs": jobs,
         "cache": cache.stats() if cache is not None else None,
     }
+    if backend == "jit":
+        from repro.jit import jit_stats
+
+        # artifact-store counters (trace reuse), next to the result cache
+        doc["jit"] = jit_stats()
     if resilience is not None:
         doc["execution"] = resilience.telemetry.as_dict()
     path = Path(args.stats)
@@ -870,6 +876,7 @@ def cmd_prof_diff(args: argparse.Namespace) -> int:
         before_label=Path(args.before).name,
         after_label=Path(args.after).name,
         claim_specs=claim_specs,
+        allow_backend_mismatch=args.allow_backend_mismatch,
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -1246,7 +1253,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_backend_flag(sp: argparse.ArgumentParser) -> None:
         sp.add_argument(
             "--backend",
-            choices=("reference", "fast"),
+            choices=("reference", "fast", "jit"),
             help="memory-analysis execution backend (default: reference, "
             "or the REPRO_BACKEND environment variable)",
         )
@@ -1500,6 +1507,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="claim file or directory; claims failing on the after "
         "document count as regressions",
     )
+    diff_p.add_argument(
+        "--allow-backend-mismatch",
+        action="store_true",
+        help="diff documents produced by different execution backends "
+        "anyway (refused by default: a backend change is not a "
+        "performance delta)",
+    )
     diff_p.set_defaults(fn=cmd_prof_diff)
     roof_p = prof_sub.add_parser(
         "roofline", help="print the roofline table of a metrics JSON"
@@ -1522,8 +1536,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_p.add_argument(
         "--backend",
-        choices=("reference", "fast", "both"),
-        help="execution backend(s) to check under (default: both)",
+        choices=("reference", "fast", "jit", "both", "all"),
+        help="execution backend(s) to check under: one name, 'both' "
+        "(reference+fast, the default), or 'all' (all three)",
     )
     check_p.add_argument(
         "--quick",

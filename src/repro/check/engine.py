@@ -35,10 +35,15 @@ __all__ = ["check_benchmark", "check_all", "DEFAULT_BACKENDS"]
 
 DEFAULT_BACKENDS = ("reference", "fast")
 
+#: ``--backend all``: every registered backend, jit included
+ALL_BACKENDS = ("reference", "fast", "jit")
+
 
 def _resolve_backends(backend: str | None) -> tuple[str, ...]:
     if backend in (None, "both"):
         return DEFAULT_BACKENDS
+    if backend == "all":
+        return ALL_BACKENDS
     return (backend,)
 
 

@@ -99,9 +99,9 @@ class SanitizerError(ReproError):
 
 
 class BackendDivergenceError(ReproError):
-    """The fast execution backend disagreed with the reference oracle.
+    """An accelerated execution backend disagreed with the reference oracle.
 
-    The differential suite keeps the two backends bit-identical, so in
+    The differential suite keeps every backend bit-identical, so in
     normal operation this never fires; it exists as the typed signal a
     self-check (or the scheduler chaos plan) raises so the supervised
     scheduler can re-run the job on the reference backend — the

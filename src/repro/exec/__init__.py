@@ -1,4 +1,5 @@
-"""Execution backends: reference oracle vs. residue-class fast path."""
+"""Execution backends: reference oracle, residue-class fast path, and
+the trace-JIT tier of :mod:`repro.jit` (selected as ``"jit"``)."""
 
 from repro.common.errors import BackendDivergenceError
 from repro.exec.dispatch import (

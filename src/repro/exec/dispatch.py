@@ -6,9 +6,13 @@ A *backend* decides how each warp-wide access is analyzed:
   :mod:`repro.mem` (the executable oracle);
 * ``fast`` — try the residue-class fast path of
   :mod:`repro.exec.fastpath` first, falling back to the reference
-  analyzers for accesses that are not affine.
+  analyzers for accesses that are not affine;
+* ``jit`` — the trace-JIT tier of :mod:`repro.jit`: record a launch
+  once per trace key, compile the access summaries into generated
+  Python, and replay later launches behind linear-time guards, bailing
+  back to reference per kernel on any mismatch.
 
-Both produce identical summaries (the differential suite in
+All three produce identical summaries (the differential suite in
 ``tests/differential/`` enforces this for every registered benchmark),
 so the choice is purely a performance knob.  Selection follows the
 session-ambient pattern used elsewhere in the runtime: an explicit
@@ -43,7 +47,7 @@ __all__ = [
 ]
 
 #: recognised backend names, in documentation order
-BACKENDS = ("reference", "fast")
+BACKENDS = ("reference", "fast", "jit")
 
 _ENV_VAR = "REPRO_BACKEND"
 _ambient: list[str] = []
@@ -222,4 +226,9 @@ class FastDispatch(ReferenceDispatch):
 def make_dispatcher(name: str | None = None) -> ReferenceDispatch:
     """Build a dispatcher for the resolved backend name."""
     resolved = current_backend_name(name)
+    if resolved == "jit":
+        # deferred import: repro.jit subclasses ReferenceDispatch
+        from repro.jit.dispatch import JitDispatch
+
+        return JitDispatch()
     return FastDispatch() if resolved == "fast" else ReferenceDispatch()

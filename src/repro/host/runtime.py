@@ -85,8 +85,9 @@ class CudaLite:
         Backoff policy for transient transfer faults.
     backend:
         Memory-analysis execution backend: ``"reference"`` (the
-        per-lane oracle) or ``"fast"`` (residue-class fast path with
-        identical results; see :mod:`repro.exec`).  Defaults through
+        per-lane oracle), ``"fast"`` (residue-class fast path), or
+        ``"jit"`` (trace-JIT replay; see :mod:`repro.jit`) — all with
+        identical results (see :mod:`repro.exec`).  Defaults through
         :func:`repro.exec.use_backend` / ``REPRO_BACKEND`` to
         ``"reference"``.
 
@@ -169,6 +170,9 @@ class CudaLite:
         self.fault_log.hub = hub
         if self.sanitizer is not None:
             self.sanitizer.hub = hub
+        if hasattr(self.dispatch, "hub"):
+            # the jit dispatcher reports trace bailouts as activity
+            self.dispatch.hub = hub
 
     @staticmethod
     def _as_sanitizer(sanitize) -> Sanitizer | None:

@@ -1,0 +1,53 @@
+"""Trace-JIT execution tier: compile the analysis hot loop per launch.
+
+The simulator's cost is dominated by per-access memory analysis — for
+every warp-wide load/store the reference backend sorts lane addresses
+and deduplicates segments at three granularities.  For sweeps the same
+kernel is launched over and over with identical shapes and addresses,
+so the analysis answers never change.  This package exploits that:
+
+* the first launch of a ``(kernel, params, system, arch)`` *trace key*
+  runs through the reference analyzers while recording every access's
+  input fingerprint and output summary;
+* the recorded trace is specialized into generated Python source — one
+  guard-then-return function per access — compiled with
+  ``compile()``/``exec`` and memoized (in process and on disk through
+  the content-addressed :class:`~repro.sched.cache.ResultCache`);
+* later launches with the same key *replay* the artifact: each access
+  is verified by a linear-time lane fingerprint and the precomputed
+  summary is returned without sorting anything;
+* any guard miss (data-dependent addressing, changed iteration counts)
+  bails the launch back to the reference path, poisons the key, and is
+  recorded in the dispatch counters and the activity hub.
+
+Select it like any other backend: ``use_backend("jit")``,
+``REPRO_BACKEND=jit``, or ``--backend jit`` on the CLI.  The
+differential suite locks jit results byte-identical to reference for
+every registered benchmark.
+"""
+
+from repro.jit.codegen import JitArtifact, compile_artifact, generate_source
+from repro.jit.dispatch import JitCounters, JitDispatch
+from repro.jit.store import (
+    JIT_SCHEMA,
+    ArtifactStore,
+    default_store,
+    jit_stats,
+    reset_jit_store,
+)
+from repro.jit.tracekey import Untraceable, launch_key
+
+__all__ = [
+    "JIT_SCHEMA",
+    "ArtifactStore",
+    "JitArtifact",
+    "JitCounters",
+    "JitDispatch",
+    "Untraceable",
+    "compile_artifact",
+    "default_store",
+    "generate_source",
+    "jit_stats",
+    "launch_key",
+    "reset_jit_store",
+]

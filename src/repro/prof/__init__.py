@@ -14,6 +14,7 @@ from repro.prof.diff import (
     DiffEntry,
     DiffReport,
     diff_metrics,
+    document_backend,
 )
 from repro.prof.metrics import (
     BENCH_SCHEMA,
@@ -42,6 +43,7 @@ __all__ = [
     "DiffEntry",
     "DiffReport",
     "diff_metrics",
+    "document_backend",
     "BENCH_SCHEMA",
     "METRICS_SCHEMA",
     "collect_metrics",

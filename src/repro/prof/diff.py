@@ -16,6 +16,13 @@ instead of by kernel: speedups falling by more than the relative time
 tolerance regress, and benchmarks present in only one document are
 reported as added/removed rather than silently intersected away.
 
+Both documents' execution backends are reported, and documents produced
+by *different* backends refuse to diff unless
+``allow_backend_mismatch`` is set: backends are byte-identical on
+results but wildly different on wall-clock and execution counters, so a
+jit-vs-reference comparison is a backend change, not a performance
+delta, and must not silently pass as one.
+
 ``repro prof diff --claims <file-or-dir>`` additionally evaluates the
 paper-claim specs (:mod:`repro.check.claims`) against the *after*
 document, turning absolute claims (Table I speedup ranges, metric
@@ -38,6 +45,7 @@ __all__ = [
     "DiffEntry",
     "DiffReport",
     "diff_metrics",
+    "document_backend",
     "DEFAULT_TIME_TOLERANCE",
     "DEFAULT_METRIC_TOLERANCE",
 ]
@@ -91,6 +99,9 @@ class DiffReport:
     after_label: str
     time_tolerance: float
     metric_tolerance: float
+    #: execution backends the compared documents declare (None: unknown)
+    before_backend: str | None = None
+    after_backend: str | None = None
     entries: list[DiffEntry] = field(default_factory=list)
     added_kernels: list[str] = field(default_factory=list)
     removed_kernels: list[str] = field(default_factory=list)
@@ -140,6 +151,11 @@ class DiffReport:
                 ),
             )
         ]
+        if self.before_backend or self.after_backend:
+            b0 = self.before_backend or "unknown"
+            b1 = self.after_backend or "unknown"
+            marker = "" if b0 == b1 else "  (MISMATCH allowed by flag)"
+            lines.insert(1, f"backend: {b0} -> {b1}{marker}")
         if not rows:
             lines.append("no per-kernel changes")
         if self.added_kernels:
@@ -167,6 +183,22 @@ class DiffReport:
             "verdict: OK" if self.ok else f"verdict: {n} regression(s) beyond threshold"
         )
         return "\n".join(lines)
+
+
+def document_backend(doc: dict[str, Any]) -> str | None:
+    """The execution backend a document declares, if any.
+
+    Metrics documents carry it in the ``execution`` section; bench
+    documents (and the harness's figure JSONs) stamp it at top level.
+    Older documents predate the stamp and read as ``None``.
+    """
+    execution = doc.get("execution")
+    if isinstance(execution, dict):
+        backend = execution.get("backend")
+        if backend is not None:
+            return str(backend)
+    backend = doc.get("backend")
+    return None if backend is None else str(backend)
 
 
 def _section(doc: dict[str, Any], key: str, label: str) -> dict[str, Any]:
@@ -305,6 +337,7 @@ def diff_metrics(
     before_label: str = "before",
     after_label: str = "after",
     claim_specs: Any = None,
+    allow_backend_mismatch: bool = False,
 ) -> DiffReport:
     """Compare two documents kernel by kernel and benchmark by benchmark.
 
@@ -312,6 +345,11 @@ def diff_metrics(
     :class:`repro.check.claims.ClaimSpec`; when given, their
     result-level claims are evaluated against ``after`` and failures
     count as regressions.
+
+    Documents declaring *different* execution backends raise a
+    :class:`ReproError` unless ``allow_backend_mismatch`` is true; a
+    document without a backend stamp (pre-backend layouts) compares
+    against anything.
     """
     for label, doc in ((before_label, before), (after_label, after)):
         if not isinstance(doc, dict):
@@ -319,11 +357,27 @@ def diff_metrics(
                 f"{label}: metrics document must be a JSON object, "
                 f"got {type(doc).__name__}"
             )
+    backend0 = document_backend(before)
+    backend1 = document_backend(after)
+    if (
+        backend0 is not None
+        and backend1 is not None
+        and backend0 != backend1
+        and not allow_backend_mismatch
+    ):
+        raise ReproError(
+            f"refusing to diff across execution backends: {before_label} "
+            f"was produced by {backend0!r} but {after_label} by "
+            f"{backend1!r}; a backend change is not a performance delta "
+            "(pass --allow-backend-mismatch to compare anyway)"
+        )
     report = DiffReport(
         before_label=before_label,
         after_label=after_label,
         time_tolerance=time_tolerance,
         metric_tolerance=metric_tolerance,
+        before_backend=backend0,
+        after_backend=backend1,
     )
     k0 = _section(before, "kernels", before_label)
     k1 = _section(after, "kernels", after_label)

@@ -120,15 +120,29 @@ def run_kernel(
         watchdog_cycles=watchdog_cycles,
         dispatch=dispatch,
     )
+    # Launch bracketing for stateful dispatchers (the trace-JIT tier
+    # records or replays per launch); plain dispatchers have no hooks
+    # and pay nothing.
+    begin_launch = getattr(ctx.dispatch, "begin_launch", None)
+    if begin_launch is not None:
+        begin_launch(kdef, grid, block, gpu, tuple(args))
+    completed = False
     try:
-        kdef(ctx, *args)
-    except RecursionError as exc:  # pragma: no cover - defensive
-        raise KernelRuntimeError(f"kernel {kdef.name} recursed too deep") from exc
-    if ctx._mask_stack:
-        raise KernelRuntimeError(
-            f"kernel {kdef.name} left {len(ctx._mask_stack)} masks pushed "
-            "(a control-flow helper was aborted mid-iteration)"
-        )
+        try:
+            kdef(ctx, *args)
+        except RecursionError as exc:  # pragma: no cover - defensive
+            raise KernelRuntimeError(
+                f"kernel {kdef.name} recursed too deep"
+            ) from exc
+        if ctx._mask_stack:
+            raise KernelRuntimeError(
+                f"kernel {kdef.name} left {len(ctx._mask_stack)} masks pushed "
+                "(a control-flow helper was aborted mid-iteration)"
+            )
+        completed = True
+    finally:
+        if begin_launch is not None:
+            ctx.dispatch.end_launch(completed)
     stats = ctx.stats
     stats.shared_mem_per_block = ctx.shared_bytes_per_block
     stats.registers_per_thread = kdef.registers

@@ -25,6 +25,20 @@ settings.load_profile(
 )
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _jit_cache_isolation(tmp_path_factory):
+    """Point the jit artifact store at a per-session temp directory.
+
+    Keeps test-produced artifacts out of the developer's (or CI's)
+    ``.repro-cache/jit`` while still exercising the persistent tier;
+    worker processes inherit the variable through the environment.
+    """
+    if "REPRO_JIT_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_JIT_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("jit-artifacts")
+        )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

@@ -1,11 +1,14 @@
-"""Differential suite: the fast backend must be bit-identical to reference.
+"""Differential suite: every backend must be bit-identical to reference.
 
 Every registered microbenchmark runs once per backend at test scale and
-the two :class:`BenchResult` documents are compared field-for-field.
-Representative kernels are additionally launched through two runtimes to
-assert equality of the *raw microarchitectural counters* (the quantities
-the fast path actually recomputes) and to prove the fast path engages
-rather than silently falling back everywhere.
+the :class:`BenchResult` documents are compared field-for-field — the
+14x3 matrix (reference, the residue-class fast path, and the trace-JIT
+tier).  Representative kernels are additionally launched through
+per-backend runtimes to assert equality of the *raw microarchitectural
+counters* (the quantities the non-reference paths recompute or replay),
+to check sanitizer findings are untouched by the backend, and to prove
+each accelerated path actually engages rather than silently falling
+back everywhere.
 """
 
 import numpy as np
@@ -15,9 +18,13 @@ from repro.arch.presets import CARINA
 from repro.core.registry import ALL_BENCHMARKS, get_benchmark
 from repro.exec import use_backend
 from repro.host.runtime import CudaLite
+from repro.sanitize.core import Sanitizer
 from repro.simt.kernel import kernel
 
-#: small parameters so the 14x2 differential run stays in test time
+#: non-reference backends; the matrix compares each against reference
+ALT_BACKENDS = ("fast", "jit")
+
+#: small parameters so the 14x3 differential run stays in test time
 #: (mirrors tests/core/test_suite.py FAST_OVERRIDES)
 SCALED = {
     "WarpDivRedux": dict(n=1 << 16),
@@ -36,16 +43,28 @@ SCALED = {
     "MiniTransfer": dict(n=256, nnz=1024),
 }
 
+#: reference results, computed once per benchmark and shared across the
+#: per-backend comparisons (the expensive half of every matrix cell)
+_reference_memo: dict[str, dict] = {}
 
+
+def _reference_result(name: str) -> dict:
+    cached = _reference_memo.get(name)
+    if cached is None:
+        with use_backend("reference"):
+            cached = get_benchmark(name).run(**SCALED.get(name, {})).as_dict()
+        _reference_memo[name] = cached
+    return cached
+
+
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("cls", ALL_BENCHMARKS, ids=lambda c: c.name)
-def test_benchmark_identical_across_backends(cls):
-    params = SCALED.get(cls.name, {})
-    with use_backend("reference"):
-        ref = get_benchmark(cls.name).run(**params)
-    with use_backend("fast"):
-        fast = get_benchmark(cls.name).run(**params)
-    assert ref.as_dict() == fast.as_dict(), (
-        f"{cls.name}: fast backend diverged from reference"
+def test_benchmark_identical_across_backends(cls, backend):
+    ref = _reference_result(cls.name)
+    with use_backend(backend):
+        alt = get_benchmark(cls.name).run(**SCALED.get(cls.name, {}))
+    assert ref == alt.as_dict(), (
+        f"{cls.name}: {backend} backend diverged from reference"
     )
 
 
@@ -74,23 +93,25 @@ def shared_column(ctx, x, width):
     ctx.store(x, ctx.global_thread_id(), tile.load(tid * width))
 
 
-def _launch_all(backend):
+def _launch_all(backend, *, repeat=1):
     rt = CudaLite(CARINA, backend=backend)
     n = 1 << 14
     x = rt.to_device(np.arange(n, dtype=np.float32))
     y = rt.malloc(n, np.float32)
-    rt.launch(stream_copy, n // 256, 256, x, y, n)
-    rt.launch(strided_touch, n // 256, 256, x, n, 32)
-    rt.launch(shared_column, 1, 32, x, 8)
+    for _ in range(repeat):
+        rt.launch(stream_copy, n // 256, 256, x, y, n)
+        rt.launch(strided_touch, n // 256, 256, x, n, 32)
+        rt.launch(shared_column, 1, 32, x, 8)
     counters = [stats.counters() for stats, _ in rt.kernel_log]
     return rt, counters
 
 
 class TestKernelCounters:
-    def test_counters_identical(self):
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_counters_identical(self, backend):
         _, ref = _launch_all("reference")
-        _, fast = _launch_all("fast")
-        assert ref == fast
+        _, alt = _launch_all(backend)
+        assert ref == alt
 
     def test_fast_path_engages(self):
         rt, _ = _launch_all("fast")
@@ -98,8 +119,54 @@ class TestKernelCounters:
         assert c.global_fast > 0, "affine global accesses never hit the fast path"
         assert c.shared_fast > 0, "affine shared accesses never hit the fast path"
 
+    def test_jit_replay_engages(self, monkeypatch):
+        # fresh memory-only store: round 1 records, round 2 replays
+        from repro.jit import reset_jit_store
+
+        monkeypatch.setenv("REPRO_JIT_CACHE_DIR", "off")
+        reset_jit_store()
+        try:
+            rt, counters = _launch_all("jit", repeat=2)
+        finally:
+            reset_jit_store()
+        c = rt.dispatch.counters
+        assert c.jit_traced == 3 and c.jit_compiled == 3
+        assert c.jit_replayed == 3
+        assert c.global_jit > 0 and c.shared_jit > 0
+        assert c.jit_bailouts == 0
+        # and the replayed rounds report the same kernel counters
+        assert counters[:3] == counters[3:]
+
     def test_reference_backend_never_uses_fast_path(self):
         rt, _ = _launch_all("reference")
         c = rt.dispatch.counters
         assert c.global_fast == c.shared_fast == 0
         assert c.global_reference > 0
+
+
+# ---------------------------------------------------------------------------
+# sanitizer findings are backend-invariant
+
+
+@kernel
+def oob_tail_store(ctx, out, n):
+    # every thread past n-8 writes one element past the logical end
+    i = ctx.global_thread_id()
+    ctx.if_active(i >= n - 8, lambda: ctx.store(out, n, 1.0))
+    ctx.if_active(i < n - 8, lambda: ctx.store(out, i, 2.0))
+
+
+def _findings(backend):
+    san = Sanitizer("memcheck")
+    rt = CudaLite(CARINA, sanitize=san, backend=backend)
+    out = rt.malloc(1024 + 32, np.float32)
+    out.logical_size = 1024
+    rt.launch(oob_tail_store, 8, 128, out, 1024)
+    rt.launch(oob_tail_store, 8, 128, out, 1024)  # jit replay round
+    return san.report().findings
+
+
+class TestSanitizeFindingsEquivalence:
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_findings_identical(self, backend):
+        assert _findings("reference") == _findings(backend)

@@ -52,14 +52,17 @@ class TestSelection:
             current_backend_name()
 
     def test_make_dispatcher(self):
+        from repro.jit.dispatch import JitDispatch
+
         assert isinstance(make_dispatcher("fast"), FastDispatch)
         d = make_dispatcher("reference")
         assert isinstance(d, ReferenceDispatch) and not isinstance(d, FastDispatch)
+        assert isinstance(make_dispatcher("jit"), JitDispatch)
         with use_backend("fast"):
             assert isinstance(make_dispatcher(), FastDispatch)
 
     def test_backend_names(self):
-        assert BACKENDS == ("reference", "fast")
+        assert BACKENDS == ("reference", "fast", "jit")
 
 
 AFFINE = np.arange(32, dtype=np.int64) * 4

@@ -1,0 +1,131 @@
+"""Codegen: recorded events render to source that replays bit-identically."""
+
+import pytest
+
+from repro.jit.codegen import (
+    GlobalEvent,
+    SharedEvent,
+    compile_artifact,
+    generate_source,
+)
+from repro.jit.guards import lane_fingerprint
+from repro.mem.banks import BankConflictSummary
+from repro.mem.coalesce import AccessSummary
+
+import numpy as np
+
+KEY = "ab" * 32
+
+
+def _global_event(addrs, mask=None, **overrides):
+    summary = AccessSummary(
+        n_warps=2,
+        n_active_lanes=64,
+        transactions=overrides.pop("transactions", 4.0),
+        sectors=8.0,
+        bursts=4.0,
+        unique_sectors=8.0,
+        unique_bursts=4.0,
+        bytes_requested=256,
+        sample_fraction=overrides.pop("sample_fraction", 1.0),
+    )
+    return GlobalEvent(
+        fp=lane_fingerprint(addrs, mask),
+        itemsize=4,
+        warp_size=32,
+        transaction_bytes=128,
+        sector_bytes=32,
+        summary=summary,
+    )
+
+
+def _shared_event(offsets, mask=None):
+    summary = BankConflictSummary(
+        n_warps=1, n_active_lanes=32, passes=2, conflict_extra=1, max_degree=2
+    )
+    return SharedEvent(
+        fp=lane_fingerprint(offsets, mask),
+        warp_size=32,
+        nbanks=32,
+        bank_bytes=4,
+        summary=summary,
+    )
+
+
+class TestGenerateAndCompile:
+    def test_replay_matches_event_order(self):
+        addrs = np.arange(64) * 4
+        offs = np.arange(32) * 4
+        events = [_global_event(addrs), _shared_event(offs), _global_event(addrs)]
+        art = compile_artifact(KEY, "k", generate_source(KEY, "k", events))
+        assert art.n_events == 3
+        assert [kind for kind, _ in art.replay] == ["global", "shared", "global"]
+        assert art.key == KEY and art.kernel == "k"
+
+    def test_global_replay_roundtrip(self):
+        addrs = np.arange(64) * 4
+        ev = _global_event(addrs, sample_fraction=0.1 + 0.2)  # non-trivial float
+        art = compile_artifact(KEY, "k", generate_source(KEY, "k", [ev]))
+        _, fn = art.replay[0]
+        out = fn(addrs, None, 4, 32, 128, 32)
+        assert out == ev.summary  # repr round-trips doubles exactly
+
+    def test_shared_replay_roundtrip(self):
+        offs = np.arange(32) * 4
+        ev = _shared_event(offs)
+        art = compile_artifact(KEY, "k", generate_source(KEY, "k", [ev]))
+        _, fn = art.replay[0]
+        assert fn(offs, None, 32, 32, 4) == ev.summary
+
+    def test_guard_rejects_changed_lanes(self):
+        addrs = np.arange(64) * 4
+        art = compile_artifact(
+            KEY, "k", generate_source(KEY, "k", [_global_event(addrs)])
+        )
+        _, fn = art.replay[0]
+        other = addrs.copy()
+        other[3] += 4
+        assert fn(other, None, 4, 32, 128, 32) is None
+
+    def test_guard_rejects_changed_params(self):
+        addrs = np.arange(64) * 4
+        art = compile_artifact(
+            KEY, "k", generate_source(KEY, "k", [_global_event(addrs)])
+        )
+        _, fn = art.replay[0]
+        assert fn(addrs, None, 8, 32, 128, 32) is None  # itemsize differs
+
+    def test_guard_is_mask_sensitive(self):
+        addrs = np.arange(64) * 4
+        mask = np.ones(64, bool)
+        art = compile_artifact(
+            KEY, "k", generate_source(KEY, "k", [_global_event(addrs, mask)])
+        )
+        _, fn = art.replay[0]
+        off = mask.copy()
+        off[0] = False
+        assert fn(addrs, mask, 4, 32, 128, 32) is not None
+        assert fn(addrs, off, 4, 32, 128, 32) is None
+
+    def test_source_is_inspectable(self):
+        addrs = np.arange(64) * 4
+        src = generate_source(KEY, "mykernel", [_global_event(addrs)])
+        assert f"KEY = {KEY!r}" in src
+        assert "mykernel" in src
+        assert "machine-generated" in src
+
+    def test_empty_trace_compiles(self):
+        art = compile_artifact(KEY, "k", generate_source(KEY, "k", []))
+        assert art.n_events == 0
+
+
+class TestRejection:
+    def test_non_finite_summary_rejected(self):
+        addrs = np.arange(64) * 4
+        ev = _global_event(addrs, transactions=float("nan"))
+        with pytest.raises(ValueError, match="non-finite"):
+            generate_source(KEY, "k", [ev])
+
+    def test_malformed_replay_rejected(self):
+        with pytest.raises(ValueError, match="malformed REPLAY"):
+            compile_artifact(KEY, "k", "REPLAY = (('bogus', None),)\n")

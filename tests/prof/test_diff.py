@@ -239,3 +239,51 @@ class TestMalformedDocuments:
         }
         with pytest.raises(ReproError, match="benchmark 'B' speedup"):
             diff_metrics(before, after)
+
+
+class TestBackendStamp:
+    def _stamped(self, backend, time_avg=1e-3):
+        d = doc({"k": entry(time_avg=time_avg)})
+        d["execution"] = {"backend": backend}
+        return d
+
+    def test_document_backend_reads_execution_section(self):
+        from repro.prof.diff import document_backend
+
+        assert document_backend(self._stamped("jit")) == "jit"
+
+    def test_document_backend_reads_top_level(self):
+        from repro.prof.diff import document_backend
+
+        assert document_backend({"backend": "fast"}) == "fast"
+        # execution section wins over a top-level stamp
+        d = {"backend": "fast", "execution": {"backend": "jit"}}
+        assert document_backend(d) == "jit"
+
+    def test_document_backend_none_for_old_layouts(self):
+        from repro.prof.diff import document_backend
+
+        assert document_backend(doc({"k": entry()})) is None
+
+    def test_same_backend_diffs_and_reports(self):
+        r = diff_metrics(self._stamped("jit"), self._stamped("jit"))
+        assert (r.before_backend, r.after_backend) == ("jit", "jit")
+        assert "backend: jit -> jit" in r.render()
+        assert "MISMATCH" not in r.render()
+
+    def test_cross_backend_refused(self):
+        with pytest.raises(ReproError, match="refusing to diff across"):
+            diff_metrics(self._stamped("reference"), self._stamped("jit"))
+
+    def test_cross_backend_allowed_by_flag(self):
+        r = diff_metrics(
+            self._stamped("reference"),
+            self._stamped("jit"),
+            allow_backend_mismatch=True,
+        )
+        assert (r.before_backend, r.after_backend) == ("reference", "jit")
+        assert "backend: reference -> jit  (MISMATCH allowed by flag)" in r.render()
+
+    def test_unstamped_doc_diffs_against_anything(self):
+        diff_metrics(doc({"k": entry()}), self._stamped("jit"))
+        diff_metrics(self._stamped("fast"), doc({"k": entry()}))

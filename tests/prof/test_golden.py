@@ -68,3 +68,38 @@ def test_validate_flags_truncated_series():
         "sweep": {"x_name": "n", "x_values": [1, 2], "series": {"s": [0.5]}},
     }
     assert any("series" in p for p in validate_document(doc))
+
+
+class TestJitGoldenDocument:
+    """The committed jit-produced metrics document stays valid.
+
+    ``benchmarks/results/jit_memalign_metrics.json`` was produced by
+    ``repro profile MemAlign --backend jit --json ...`` and pins the
+    third backend's export format: the backend stamp, the jit life-cycle
+    counters, and compatibility with the offline conformance audit.
+    """
+
+    PATH = REPO_ROOT / "benchmarks" / "results" / "jit_memalign_metrics.json"
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return load_metrics(self.PATH)
+
+    def test_backend_stamped_jit(self, doc):
+        from repro.prof import document_backend
+
+        assert document_backend(doc) == "jit"
+
+    def test_jit_lifecycle_counters_present(self, doc):
+        execution = doc["execution"]
+        for key in ("jit_traced", "jit_compiled", "jit_replayed",
+                    "jit_bailouts", "jit_untraceable"):
+            assert key in execution, f"missing {key}"
+        assert execution["jit_traced"] > 0
+        assert execution["jit_compiled"] > 0
+        assert execution["jit_bailouts"] == 0
+
+    def test_offline_check_passes(self):
+        from repro.__main__ import main
+
+        assert main(["check", "--doc", str(self.PATH)]) == 0

@@ -156,6 +156,43 @@ class TestProfDiffCommand:
         assert rc == 2
         assert "error:" in capsys.readouterr().err
 
+    @staticmethod
+    def _write_backend(path, backend, time_avg=1e-3):
+        import json
+
+        path.write_text(json.dumps({
+            "schema": "repro-prof-metrics/1",
+            "execution": {"backend": backend},
+            "kernels": {"k": {"time_avg_s": time_avg, "metrics": {}}},
+        }))
+
+    def test_backend_reported(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_backend(a, "jit")
+        self._write_backend(b, "jit")
+        assert main(["prof", "diff", str(a), str(b)]) == 0
+        assert "backend: jit -> jit" in capsys.readouterr().out
+
+    def test_cross_backend_refused(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_backend(a, "reference")
+        self._write_backend(b, "jit")
+        rc = main(["prof", "diff", str(a), str(b)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "refusing to diff across execution backends" in err
+        assert "--allow-backend-mismatch" in err
+
+    def test_cross_backend_mismatch_flag(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_backend(a, "reference")
+        self._write_backend(b, "jit")
+        rc = main([
+            "prof", "diff", str(a), str(b), "--allow-backend-mismatch",
+        ])
+        assert rc == 0
+        assert "MISMATCH allowed by flag" in capsys.readouterr().out
+
     def test_roofline_from_saved_document(self, capsys, tmp_path):
         metrics = tmp_path / "m.json"
         rc = main(["profile", "MemAlign", "-p", "n=65536", "--json", str(metrics)])

@@ -1079,6 +1079,111 @@ def _age(seconds: float) -> str:
     return f"{minutes}m"
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the benchmark-as-a-service daemon until SIGTERM/SIGINT.
+
+    SIGTERM triggers the graceful drain: intake flips to 503, in-flight
+    requests finish (journals flush per checkpoint), queued requests
+    stay durable on disk, and the listening socket closes cleanly.
+    Exit 0 when the queue drained empty, 4 when accepted work remains
+    for the next incarnation (the "interrupted; journal saved" code).
+    """
+    import signal
+    import threading
+
+    from repro.serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+        max_per_client=args.max_per_client,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        lease_ttl_s=args.lease_ttl if args.lease_ttl is not None else 30.0,
+        cache=_make_cache(args),
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    for name in ("SIGTERM", "SIGINT"):
+        if hasattr(signal, name):
+            signal.signal(getattr(signal, name), _on_signal)
+
+    daemon.start()
+    rec = daemon.recovery
+    print(
+        f"serve: listening on {daemon.url} (data dir {args.data_dir})",
+        file=sys.stderr,
+    )
+    if rec is not None and rec.requests:
+        print(
+            f"serve: recovered {rec.requests} request(s): "
+            f"{rec.requeued} requeued, {rec.releases} re-leased, "
+            f"{rec.completed} already complete",
+            file=sys.stderr,
+        )
+    stop.wait()
+    print("serve: draining...", file=sys.stderr)
+    code = daemon.drain(grace_s=args.drain_grace)
+    pending = "clean" if code == 0 else "work remains; restart to resume"
+    print(
+        f"serve: drained in {daemon.drain_duration_s:.2f}s ({pending})",
+        file=sys.stderr,
+    )
+    return code
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    from repro.sched import gc_cache
+
+    max_bytes = None
+    if args.max_bytes is not None:
+        max_bytes = _parse_size(args.max_bytes)
+    summary = gc_cache(
+        args.cache_dir,
+        older_than_days=args.older_than,
+        max_bytes=max_bytes,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {len(summary['removed'])} entr(ies) "
+        f"({summary['removed_bytes']} bytes), kept {summary['kept']} "
+        f"({summary['kept_bytes']} bytes)"
+    )
+    by_reason: dict[str, int] = {}
+    for entry in summary["removed"]:
+        by_reason[entry["reason"]] = by_reason.get(entry["reason"], 0) + 1
+    for reason, n in sorted(by_reason.items()):
+        print(f"  {n} by {reason}")
+    if not args.dry_run and summary["tmp_files_removed"]:
+        print(f"swept {summary['tmp_files_removed']} tmp file(s)")
+    return 0
+
+
+def _parse_size(text: str) -> int:
+    """Parse '64M'/'1G'/'4096' size arguments for ``cache gc``."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    t = text.strip().lower().rstrip("ib")
+    if t and t[-1] in units:
+        try:
+            return int(float(t[:-1]) * units[t[-1]])
+        except ValueError:
+            pass
+    try:
+        return int(t)
+    except ValueError:
+        raise ReproError(
+            f"cannot parse size {text!r}; use bytes or K/M/G suffixes"
+        ) from None
+
+
 def cmd_journal_ls(args: argparse.Namespace) -> int:
     import time
 
@@ -1451,6 +1556,99 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_journal_dir(jgc_p)
     jgc_p.set_defaults(fn=cmd_journal_gc)
+
+    from repro.sched import DEFAULT_CACHE_DIR as _DEFAULT_CACHE
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the crash-tolerant benchmark-as-a-service daemon",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port; 0 = ephemeral (default 8321)",
+    )
+    serve_p.add_argument(
+        "--data-dir", default=".repro-serve",
+        help="durable queue directory: intake journal, request state, "
+        "results, per-request run journals (default .repro-serve)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=2,
+        help="request worker threads (default 2)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="scheduler worker processes per request (default 1)",
+    )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="accepted-but-unclaimed bound; past it submissions get "
+        "429 + Retry-After (default 64)",
+    )
+    serve_p.add_argument(
+        "--max-per-client", type=int, default=None, metavar="N",
+        help="queued+running cap per X-Client-Id (default 8)",
+    )
+    serve_p.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help="consecutive failures before a benchmark's circuit opens "
+        "(default 3)",
+    )
+    serve_p.add_argument(
+        "--breaker-cooldown", type=float, default=None, metavar="SECONDS",
+        help="open-circuit cool-down before a half-open probe "
+        "(default 30)",
+    )
+    serve_p.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="execution-lease staleness bound (default 30)",
+    )
+    serve_p.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="SECONDS",
+        help="how long a SIGTERM drain waits for in-flight requests "
+        "before leaving them for restart recovery (default 30)",
+    )
+    serve_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed result cache",
+    )
+    serve_p.add_argument(
+        "--cache-dir", default=_DEFAULT_CACHE,
+        help=f"result-cache directory (default {_DEFAULT_CACHE})",
+    )
+    serve_p.set_defaults(fn=cmd_serve)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect and prune the result cache"
+    )
+    csub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cgc_p = csub.add_parser(
+        "gc",
+        help="bound the cache by age and/or total size "
+        "(content-addressed entries: eviction only costs a recompute)",
+    )
+    cgc_p.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="remove entries not (re)stored within this many days",
+    )
+    cgc_p.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="then evict oldest-first until the total fits (bytes, or "
+        "K/M/G suffixes)",
+    )
+    cgc_p.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without touching anything",
+    )
+    cgc_p.add_argument(
+        "--cache-dir", default=_DEFAULT_CACHE,
+        help=f"result-cache directory (default {_DEFAULT_CACHE})",
+    )
+    cgc_p.set_defaults(fn=cmd_cache_gc)
 
     top_p = sub.add_parser(
         "top", help="live read-only view of a running fleet"

@@ -15,16 +15,19 @@ Routes::
     GET /healthz   204 while the run is alive
 
 Port 0 binds an ephemeral port; read the resolved one from ``.port``
-(printed by the CLI as ``metrics: serving on :<port>``).  This is the
-first concrete slice of the ROADMAP's ``repro serve`` daemon.
+(printed by the CLI as ``metrics: serving on :<port>``).  Serving is
+built on the hardened stdlib base of :mod:`repro.common.httpd` —
+``SO_REUSEADDR`` (restarts never hit ``EADDRINUSE``), bounded request
+lines and headers, per-connection read timeouts — shared with the
+full ``repro serve`` daemon of :mod:`repro.serve`.
 """
 
 from __future__ import annotations
 
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Iterable
 
+from repro.common.httpd import HardenedHandler, HardenedHTTPServer
 from repro.obs.metrics import Sample, prometheus_text
 
 __all__ = ["MetricsServer"]
@@ -32,7 +35,7 @@ __all__ = ["MetricsServer"]
 _CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
-class _Handler(BaseHTTPRequestHandler):
+class _Handler(HardenedHandler):
     server_version = "repro-obs/1"
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -54,14 +57,8 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self.send_error(404)
 
-    def log_message(self, fmt: str, *args) -> None:
-        # scrapes are routine; stay silent instead of spamming stderr
-        pass
 
-
-class _Server(ThreadingHTTPServer):
-    daemon_threads = True
-    allow_reuse_address = True
+class _Server(HardenedHTTPServer):
     snapshot: Callable[[], Iterable[Sample]]
 
 
@@ -117,6 +114,13 @@ class MetricsServer:
         self._thread.join(timeout=5)
         self._server.server_close()
         self._thread = None
+
+    def close(self) -> None:
+        """Close the socket even if ``start`` was never called."""
+        if self._thread is not None:
+            self.stop()
+        else:
+            self._server.server_close()
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

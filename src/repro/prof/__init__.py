@@ -25,6 +25,7 @@ from repro.prof.metrics import (
     load_metrics,
     merge_metrics,
     validate_document,
+    render_metrics,
     write_metrics,
 )
 from repro.prof.ndjson import read_ndjson, record_from_json, record_to_json, write_ndjson
@@ -52,6 +53,7 @@ __all__ = [
     "load_metrics",
     "merge_metrics",
     "validate_document",
+    "render_metrics",
     "write_metrics",
     "read_ndjson",
     "record_from_json",

@@ -38,6 +38,7 @@ __all__ = [
     "kernel_entry",
     "collect_metrics",
     "merge_metrics",
+    "render_metrics",
     "write_metrics",
     "load_metrics",
     "validate_document",
@@ -198,12 +199,23 @@ def merge_metrics(docs: Sequence[dict[str, Any]]) -> dict[str, Any]:
     return merged
 
 
+def render_metrics(doc: dict[str, Any]) -> str:
+    """The canonical serialized form of a metrics document.
+
+    One definition of the bytes, shared by :func:`write_metrics` (the
+    CLI ``--out``/``--json`` files) and the ``repro serve`` result
+    store — which is what makes a served result ``cmp``-identical to
+    the same work exported by the command line.
+    """
+    doc = {"schema": METRICS_SCHEMA, **doc}
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
 def write_metrics(path: str | Path, doc: dict[str, Any]) -> Path:
     """Serialize a metrics document (schema stamped if missing)."""
-    doc = {"schema": METRICS_SCHEMA, **doc}
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    path.write_text(render_metrics(doc))
     return path
 
 

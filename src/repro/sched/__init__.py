@@ -4,6 +4,7 @@ from repro.sched.cache import (
     CACHE_SCHEMA,
     DEFAULT_CACHE_DIR,
     ResultCache,
+    gc_cache,
     source_fingerprint,
 )
 from repro.sched.runner import (
@@ -18,6 +19,7 @@ __all__ = [
     "CACHE_SCHEMA",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
+    "gc_cache",
     "source_fingerprint",
     "JobSpec",
     "execute_job",

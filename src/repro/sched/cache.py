@@ -38,7 +38,13 @@ from repro.common.errors import ReproError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
 
-__all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "ResultCache", "source_fingerprint"]
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "gc_cache",
+    "source_fingerprint",
+]
 
 CACHE_SCHEMA = "repro-sched-cache/1"
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -263,3 +269,119 @@ class ResultCache:
             "stores": self.stores,
             "quarantines": self.quarantines,
         }
+
+
+# ----------------------------------------------------------------------
+# cache-directory tools (``repro cache gc``)
+
+def _cache_entries(root: Path) -> list[dict[str, Any]]:
+    """Every entry file under a cache root, oldest-access first."""
+    entries: list[dict[str, Any]] = []
+    for path in root.glob("??/*.json"):
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        entries.append({
+            "path": path,
+            "key": path.stem,
+            "bytes": st.st_size,
+            # mtime doubles as last-use: hits rewrite nothing, but the
+            # atomic publish refreshes it on every (re)store, and size
+            # eviction wants *some* recency signal without adding reads
+            "mtime": st.st_mtime,
+        })
+    entries.sort(key=lambda e: (e["mtime"], e["key"]))
+    return entries
+
+
+def gc_cache(
+    root: str | Path = DEFAULT_CACHE_DIR,
+    *,
+    older_than_days: float | None = None,
+    max_bytes: int | None = None,
+    now: float | None = None,
+    dry_run: bool = False,
+) -> dict[str, Any]:
+    """Bound the result cache by age and/or total size.
+
+    Follows the ``journal gc`` conventions (see
+    :func:`repro.resilience.journal.gc_runs`): explicit cutoffs, a
+    ``dry_run`` that reports without deleting, and a summary dict the
+    CLI renders.  Passes:
+
+    * **age** (with ``older_than_days``) — drop entries whose mtime is
+      older than the cutoff;
+    * **size** (with ``max_bytes``) — then, while the surviving total
+      exceeds the budget, evict oldest-first (mtime is refreshed on
+      every store, so this is LRU-by-publish);
+    * **stale-artifact cleanup** (always) — orphaned ``*.tmp`` files
+      from interrupted atomic writes and everything under
+      ``quarantine/`` older than the age cutoff.
+
+    Content-addressed entries make eviction always safe: a future miss
+    recomputes the identical payload.
+    """
+    import time as _time
+
+    root = Path(root)
+    now = _time.time() if now is None else now
+    cutoff = (
+        now - older_than_days * 86400.0
+        if older_than_days is not None else None
+    )
+    entries = _cache_entries(root) if root.is_dir() else []
+    removed: list[dict[str, Any]] = []
+    kept: list[dict[str, Any]] = []
+    for entry in entries:
+        if cutoff is not None and entry["mtime"] < cutoff:
+            removed.append({**entry, "reason": "age"})
+        else:
+            kept.append(entry)
+    if max_bytes is not None:
+        total = sum(e["bytes"] for e in kept)
+        while kept and total > max_bytes:
+            victim = kept.pop(0)          # oldest mtime first
+            total -= victim["bytes"]
+            removed.append({**victim, "reason": "size"})
+    if not dry_run:
+        for entry in removed:
+            try:
+                entry["path"].unlink()
+            except OSError:
+                pass
+        tmps = 0
+        if root.is_dir():
+            for tmp in root.rglob("*.tmp"):
+                try:
+                    tmp.unlink()
+                    tmps += 1
+                except OSError:
+                    pass
+            qdir = root / "quarantine"
+            if qdir.is_dir() and cutoff is not None:
+                for path in qdir.iterdir():
+                    try:
+                        if path.stat().st_mtime < cutoff:
+                            path.unlink()
+                    except OSError:
+                        pass
+            # drop now-empty shard directories so the tree stays tidy
+            for shard in root.glob("??"):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+    else:
+        tmps = sum(1 for _ in root.rglob("*.tmp")) if root.is_dir() else 0
+    return {
+        "removed": [
+            {"key": e["key"], "bytes": e["bytes"], "reason": e["reason"]}
+            for e in removed
+        ],
+        "kept": len(kept),
+        "kept_bytes": sum(e["bytes"] for e in kept),
+        "removed_bytes": sum(e["bytes"] for e in removed),
+        "tmp_files_removed": tmps,
+        "dry_run": dry_run,
+    }

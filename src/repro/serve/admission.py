@@ -1,0 +1,135 @@
+"""Admission control: the daemon says *no* early instead of slow later.
+
+Overload handling follows the standard playbook — bound the queue, shed
+at the door, tell the client when to come back:
+
+* **queue-depth bound** — at most ``max_queue`` accepted-but-unclaimed
+  requests; past that a submission gets ``429`` with a ``Retry-After``
+  estimated from recent service times, so admitted work keeps its
+  latency instead of everyone's degrading together.
+* **per-client in-flight cap** — at most ``max_per_client`` queued +
+  running requests per ``X-Client-Id``; one greedy client cannot
+  starve the rest (the anonymous pool shares one identity, which is
+  exactly the incentive to send the header).
+* **breaker rejections** — a benchmark whose circuit is open is
+  rejected with ``503`` and a ``Retry-After`` of the remaining
+  cool-down (decided by :mod:`repro.serve.breaker`; surfaced here so
+  all rejection shapes live in one vocabulary).
+* **drain rejections** — a draining daemon (SIGTERM received) returns
+  ``503`` with no ``Retry-After``: it is going away, not recovering.
+
+Decisions are value objects (:class:`AdmissionDecision`) so the HTTP
+layer maps them to status lines without re-deriving policy, and tests
+assert on the decision, not on socket behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+#: default bound on accepted-but-unclaimed requests
+DEFAULT_MAX_QUEUE = 64
+
+#: default per-client queued+running cap
+DEFAULT_MAX_PER_CLIENT = 8
+
+#: Retry-After fallback when no service-time samples exist yet
+_DEFAULT_RETRY_AFTER_S = 5
+
+#: readiness high-water mark as a fraction of max_queue — /readyz goes
+#: not-ready before admission starts rejecting, so load balancers steer
+#: away early
+READY_HIGH_WATER_FRAC = 0.8
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check."""
+
+    admitted: bool
+    status: int = 202           #: HTTP status for the rejection (or 202)
+    reason: str = ""
+    retry_after_s: int | None = None
+
+    @staticmethod
+    def ok() -> "AdmissionDecision":
+        return AdmissionDecision(admitted=True)
+
+
+class AdmissionController:
+    """Queue-depth and per-client caps with a Retry-After estimator."""
+
+    def __init__(
+        self,
+        *,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_per_client: int = DEFAULT_MAX_PER_CLIENT,
+    ) -> None:
+        self.max_queue = max(1, max_queue)
+        self.max_per_client = max(1, max_per_client)
+        self._lock = threading.Lock()
+        #: ring of recent request service times (seconds)
+        self._service_s: list[float] = []
+
+    # -- service-time estimator -----------------------------------------
+    def observe_service_time(self, seconds: float) -> None:
+        with self._lock:
+            self._service_s.append(max(0.0, seconds))
+            if len(self._service_s) > 32:
+                self._service_s.pop(0)
+
+    def _mean_service_s(self) -> float:
+        with self._lock:
+            if not self._service_s:
+                return 0.0
+            return sum(self._service_s) / len(self._service_s)
+
+    def retry_after_s(self, queue_depth: int, workers: int) -> int:
+        """Estimate when a slot frees: depth × mean service / width."""
+        mean = self._mean_service_s()
+        if mean <= 0.0:
+            return _DEFAULT_RETRY_AFTER_S
+        est = queue_depth * mean / max(1, workers)
+        return max(1, min(300, round(est)))
+
+    # -- the decision ----------------------------------------------------
+    def decide(
+        self,
+        *,
+        queue_depth: int,
+        client_load: int,
+        workers: int,
+        draining: bool = False,
+        breaker_open: bool = False,
+        breaker_retry_s: float = 0.0,
+    ) -> AdmissionDecision:
+        if draining:
+            return AdmissionDecision(
+                admitted=False, status=503, reason="draining",
+            )
+        if breaker_open:
+            return AdmissionDecision(
+                admitted=False, status=503, reason="breaker-open",
+                retry_after_s=max(1, round(breaker_retry_s)),
+            )
+        if queue_depth >= self.max_queue:
+            return AdmissionDecision(
+                admitted=False, status=429, reason="queue-full",
+                retry_after_s=self.retry_after_s(queue_depth, workers),
+            )
+        if client_load >= self.max_per_client:
+            return AdmissionDecision(
+                admitted=False, status=429, reason="client-cap",
+                retry_after_s=self.retry_after_s(
+                    max(1, client_load), workers
+                ),
+            )
+        return AdmissionDecision.ok()
+
+    @property
+    def high_water(self) -> int:
+        """Queue depth at which /readyz reports not-ready."""
+        return max(1, int(self.max_queue * READY_HIGH_WATER_FRAC))

@@ -1,0 +1,154 @@
+"""Per-benchmark circuit breaker for the serve daemon.
+
+A benchmark whose jobs keep getting quarantined — a poisoned
+configuration, a backend bug, chaos — should fail *fast* at admission
+instead of burning a pool slot per doomed attempt.  Classic three-state
+breaker, one per benchmark:
+
+* **closed** — requests flow; consecutive failures are counted, a
+  success resets the count.
+* **open** — after :attr:`CircuitBreaker.threshold` consecutive
+  failures; submissions are rejected immediately with 503 until
+  ``cooldown_s`` elapses.  Expiries (deadline 504s) do **not** count:
+  a tight client deadline says nothing about the benchmark's health.
+* **half-open** — after the cool-down one *probe* request is admitted;
+  its success closes the circuit, its failure re-opens it and restarts
+  the cool-down.
+
+The clock is injectable so tests step time instead of sleeping.  State
+is in-memory only and resets on restart — deliberately: a restart is
+exactly when a wedged benchmark deserves a fresh probe, and durable
+state belongs to requests, not to health heuristics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "BreakerBoard"]
+
+#: consecutive failures before the circuit opens
+DEFAULT_THRESHOLD = 3
+
+#: seconds the circuit stays open before admitting a half-open probe
+DEFAULT_COOLDOWN_S = 30.0
+
+
+class CircuitBreaker:
+    """closed → open → half-open lifecycle for one benchmark."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = DEFAULT_THRESHOLD,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = max(1, threshold)
+        self.cooldown_s = cooldown_s
+        self.now = now
+        self.failures = 0
+        self.opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if self.now() - self.opened_at >= self.cooldown_s:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a new request for this benchmark be admitted right now?
+
+        In half-open state exactly one caller gets a ``True`` (the
+        probe); the rest stay rejected until the probe reports back.
+        """
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open" and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next half-open probe could be admitted."""
+        if self.opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown_s - (self.now() - self.opened_at))
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._probing = False
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.opened_at = self.now()
+
+
+class BreakerBoard:
+    """The daemon's breakers, one per benchmark, created on demand.
+
+    ``check`` requests span many benchmarks and bypass the board
+    entirely (the caller simply never consults it for them).
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: int = DEFAULT_THRESHOLD,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.now = now
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def _get(self, benchmark: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(benchmark)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    threshold=self.threshold,
+                    cooldown_s=self.cooldown_s,
+                    now=self.now,
+                )
+                self._breakers[benchmark] = breaker
+            return breaker
+
+    def allow(self, benchmark: str | None) -> bool:
+        if benchmark is None:
+            return True
+        with self._lock:
+            breaker = self._breakers.get(benchmark)
+        if breaker is None:
+            return True
+        return breaker.allow()
+
+    def retry_after_s(self, benchmark: str) -> float:
+        return self._get(benchmark).retry_after_s()
+
+    def record_success(self, benchmark: str | None) -> None:
+        if benchmark is not None:
+            self._get(benchmark).record_success()
+
+    def record_failure(self, benchmark: str | None) -> None:
+        if benchmark is not None:
+            self._get(benchmark).record_failure()
+
+    def states(self) -> dict[str, str]:
+        """benchmark → breaker state, for /metrics and status."""
+        with self._lock:
+            return {
+                name: breaker.state
+                for name, breaker in self._breakers.items()
+            }

@@ -1,0 +1,163 @@
+"""Minimal stdlib client for the serve API (urllib, no dependencies).
+
+Covers the whole request lifecycle the CLI, tests, and the CI
+``serve-smoke`` job need::
+
+    client = ServeClient("http://127.0.0.1:8080")
+    sub = client.submit({"kind": "sweep", "benchmark": "MemAlign",
+                         "values": [4096, 8192]})
+    status = client.wait(sub["id"], timeout_s=120)
+    text = client.result(status["fingerprint"])
+
+Every response is parsed but otherwise untouched: ``result`` returns
+the raw bytes of the stored document so a caller can ``cmp`` them
+against a CLI ``--out`` file.  HTTP rejections raise
+:class:`ServeRejected` carrying the status code and the server's
+``Retry-After``, so a polite client can implement backoff without
+string-parsing errors.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.common.errors import ReproError
+
+__all__ = ["ServeRejected", "ServeClient"]
+
+
+class ServeRejected(ReproError):
+    """A non-2xx response from the serve API."""
+
+    def __init__(
+        self, status: int, body: dict[str, Any],
+        retry_after_s: int | None = None,
+    ) -> None:
+        reason = body.get("error", "") if isinstance(body, dict) else ""
+        super().__init__(f"serve returned {status}: {reason}")
+        self.status = status
+        self.body = body
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """One serve endpoint; every method is a single HTTP round trip."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing --------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        req = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers=headers or {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers or {}), exc.read()
+
+    def _json(
+        self, method: str, path: str, *,
+        body: bytes | None = None, headers: dict[str, str] | None = None,
+        ok: tuple[int, ...] = (200, 202),
+    ) -> dict[str, Any]:
+        status, resp_headers, data = self._request(
+            method, path, body=body, headers=headers
+        )
+        try:
+            doc = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            doc = {"error": data.decode(errors="replace")}
+        if status not in ok:
+            retry = resp_headers.get("Retry-After")
+            raise ServeRejected(
+                status, doc,
+                retry_after_s=int(retry) if retry else None,
+            )
+        return doc
+
+    # -- API -------------------------------------------------------------
+    def submit(
+        self,
+        request: dict[str, Any],
+        *,
+        client_id: str | None = None,
+        idempotency_key: str | None = None,
+    ) -> dict[str, Any]:
+        """POST /v1/jobs; the accepted (or duplicate) status document."""
+        headers = {"Content-Type": "application/json"}
+        if client_id is not None:
+            headers["X-Client-Id"] = client_id
+        if idempotency_key is not None:
+            headers["Idempotency-Key"] = idempotency_key
+        return self._json(
+            "POST", "/v1/jobs",
+            body=json.dumps(request).encode(), headers=headers,
+        )
+
+    def status(self, request_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{request_id}", ok=(200,))
+
+    def wait(
+        self,
+        request_id: str,
+        *,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.25,
+    ) -> dict[str, Any]:
+        """Poll until the request reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.status(request_id)
+            if doc.get("state") in ("done", "failed", "expired"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"request {request_id} still {doc.get('state')!r} "
+                    f"after {timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+
+    def result(self, fingerprint: str) -> bytes:
+        """GET /v1/results/<fingerprint> as raw bytes (for cmp tests)."""
+        status, headers, data = self._request(
+            "GET", f"/v1/results/{fingerprint}"
+        )
+        if status != 200:
+            try:
+                doc = json.loads(data)
+            except json.JSONDecodeError:
+                doc = {"error": data.decode(errors="replace")}
+            retry = headers.get("Retry-After")
+            raise ServeRejected(
+                status, doc, retry_after_s=int(retry) if retry else None
+            )
+        return data
+
+    def metrics(self) -> str:
+        status, _, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeRejected(status, {"error": "metrics unavailable"})
+        return data.decode()
+
+    def ready(self) -> bool:
+        status, _, _ = self._request("GET", "/readyz")
+        return status == 200
+
+    def healthy(self) -> bool:
+        status, _, _ = self._request("GET", "/healthz")
+        return status == 204

@@ -1,0 +1,111 @@
+"""Hardened HTTP base: bounds, timeouts, restart-safe close."""
+
+import http.client
+import socket
+import threading
+
+import pytest
+
+from repro.common.httpd import (
+    HardenedHandler,
+    HardenedHTTPServer,
+    MAX_HEADER_COUNT,
+    MAX_REQUEST_LINE,
+)
+
+
+class _EchoHandler(HardenedHandler):
+    def do_GET(self):  # noqa: N802 - stdlib handler API
+        body = b"ok\n"
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+@pytest.fixture()
+def server():
+    srv = HardenedHTTPServer(("127.0.0.1", 0), _EchoHandler)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.close()
+    thread.join(timeout=5)
+
+
+def port_of(srv):
+    return srv.server_address[1]
+
+
+class TestBounds:
+    def test_normal_request_ok(self, server):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", port_of(server), timeout=10
+        )
+        conn.request("GET", "/")
+        assert conn.getresponse().status == 200
+        conn.close()
+
+    def test_oversized_request_line_is_414(self, server):
+        sock = socket.create_connection(
+            ("127.0.0.1", port_of(server)), timeout=10
+        )
+        sock.sendall(b"GET /" + b"a" * MAX_REQUEST_LINE + b" HTTP/1.1\r\n")
+        data = sock.recv(4096)
+        assert b"414" in data.split(b"\r\n", 1)[0]
+        sock.close()
+
+    def test_too_many_headers_is_431(self, server):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", port_of(server), timeout=10
+        )
+        conn.putrequest("GET", "/")
+        for n in range(MAX_HEADER_COUNT + 1):
+            conn.putheader(f"X-Flood-{n}", "x")
+        conn.endheaders()
+        assert conn.getresponse().status == 431
+        conn.close()
+
+    def test_huge_header_block_is_431(self, server):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", port_of(server), timeout=10
+        )
+        conn.putrequest("GET", "/")
+        conn.putheader("X-Big", "v" * 20000)
+        conn.endheaders()
+        assert conn.getresponse().status == 431
+        conn.close()
+
+
+class TestLifecycle:
+    def test_close_without_serve_forever_does_not_hang(self):
+        srv = HardenedHTTPServer(("127.0.0.1", 0), _EchoHandler)
+        done = threading.Event()
+
+        def close():
+            srv.close()
+            done.set()
+
+        threading.Thread(target=close, daemon=True).start()
+        assert done.wait(timeout=5), "close() hung on an unserved socket"
+
+    def test_immediate_rebind_after_close(self, server):
+        port = port_of(server)
+        server.close()
+        # SO_REUSEADDR: the very next bind on the same port succeeds
+        again = HardenedHTTPServer(("127.0.0.1", port), _EchoHandler)
+        assert port_of(again) == port
+        again.close()
+
+    def test_silent_client_is_dropped(self, server):
+        class Impatient(_EchoHandler):
+            read_timeout_s = 0.2
+
+        server.RequestHandlerClass = Impatient
+        sock = socket.create_connection(
+            ("127.0.0.1", port_of(server)), timeout=10
+        )
+        # say nothing: the server must hang up on us
+        sock.settimeout(10)
+        assert sock.recv(1) == b""
+        sock.close()

@@ -1,0 +1,105 @@
+"""Cache GC: age and size eviction, dry-run, stale-artifact sweep."""
+
+import os
+
+from repro.sched.cache import gc_cache
+
+NOW = 1_000_000.0
+DAY = 86400.0
+
+
+def put_entry(root, key, *, age_days=0.0, size=100):
+    shard = root / key[:2]
+    shard.mkdir(parents=True, exist_ok=True)
+    path = shard / f"{key}.json"
+    path.write_bytes(b"x" * size)
+    stamp = NOW - age_days * DAY
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+class TestAgePass:
+    def test_old_entries_removed_young_kept(self, tmp_path):
+        old = put_entry(tmp_path, "aa" + "0" * 62, age_days=10)
+        young = put_entry(tmp_path, "bb" + "0" * 62, age_days=1)
+        summary = gc_cache(tmp_path, older_than_days=7, now=NOW)
+        assert [r["reason"] for r in summary["removed"]] == ["age"]
+        assert not old.exists()
+        assert young.exists()
+        assert summary["kept"] == 1
+
+    def test_empty_shards_pruned(self, tmp_path):
+        put_entry(tmp_path, "aa" + "0" * 62, age_days=10)
+        gc_cache(tmp_path, older_than_days=7, now=NOW)
+        assert not (tmp_path / "aa").exists()
+
+    def test_no_cutoff_keeps_everything(self, tmp_path):
+        put_entry(tmp_path, "aa" + "0" * 62, age_days=100)
+        summary = gc_cache(tmp_path, now=NOW)
+        assert summary["removed"] == []
+        assert summary["kept"] == 1
+
+
+class TestSizePass:
+    def test_evicts_oldest_first_until_under_budget(self, tmp_path):
+        put_entry(tmp_path, "aa" + "0" * 62, age_days=3, size=100)
+        put_entry(tmp_path, "bb" + "0" * 62, age_days=2, size=100)
+        newest = put_entry(tmp_path, "cc" + "0" * 62, age_days=1, size=100)
+        summary = gc_cache(tmp_path, max_bytes=150, now=NOW)
+        assert [r["reason"] for r in summary["removed"]] == ["size", "size"]
+        assert [r["key"][:2] for r in summary["removed"]] == ["aa", "bb"]
+        assert newest.exists()
+        assert summary["kept_bytes"] == 100
+
+    def test_age_pass_runs_before_size(self, tmp_path):
+        put_entry(tmp_path, "aa" + "0" * 62, age_days=10, size=100)
+        put_entry(tmp_path, "bb" + "0" * 62, age_days=1, size=100)
+        summary = gc_cache(
+            tmp_path, older_than_days=7, max_bytes=100, now=NOW
+        )
+        reasons = {r["key"][:2]: r["reason"] for r in summary["removed"]}
+        assert reasons == {"aa": "age"}
+        assert summary["kept"] == 1
+
+
+class TestDryRun:
+    def test_reports_without_deleting(self, tmp_path):
+        old = put_entry(tmp_path, "aa" + "0" * 62, age_days=10)
+        (tmp_path / "aa" / "orphan.tmp").write_bytes(b"torn")
+        summary = gc_cache(
+            tmp_path, older_than_days=7, now=NOW, dry_run=True
+        )
+        assert summary["dry_run"] is True
+        assert len(summary["removed"]) == 1
+        assert summary["tmp_files_removed"] == 1
+        assert old.exists()
+        assert (tmp_path / "aa" / "orphan.tmp").exists()
+
+
+class TestArtifactSweep:
+    def test_tmp_files_always_removed(self, tmp_path):
+        put_entry(tmp_path, "aa" + "0" * 62)
+        tmp = tmp_path / "aa" / "write.tmp"
+        tmp.write_bytes(b"torn")
+        summary = gc_cache(tmp_path, now=NOW)
+        assert summary["tmp_files_removed"] == 1
+        assert not tmp.exists()
+
+    def test_old_quarantine_entries_removed(self, tmp_path):
+        qdir = tmp_path / "quarantine"
+        qdir.mkdir(parents=True)
+        old = qdir / "corrupt-1.json"
+        old.write_bytes(b"bad")
+        stamp = NOW - 30 * DAY
+        os.utime(old, (stamp, stamp))
+        fresh = qdir / "corrupt-2.json"
+        fresh.write_bytes(b"bad")
+        os.utime(fresh, (NOW, NOW))
+        gc_cache(tmp_path, older_than_days=7, now=NOW)
+        assert not old.exists()
+        assert fresh.exists()
+
+    def test_missing_root_is_a_noop(self, tmp_path):
+        summary = gc_cache(tmp_path / "never-created", older_than_days=1)
+        assert summary["kept"] == 0
+        assert summary["removed"] == []

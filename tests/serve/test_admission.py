@@ -1,0 +1,78 @@
+"""Admission control: 429/503 decisions and the Retry-After estimator."""
+
+from repro.serve.admission import AdmissionController
+
+
+def make(**kw):
+    kw.setdefault("max_queue", 4)
+    kw.setdefault("max_per_client", 2)
+    return AdmissionController(**kw)
+
+
+class TestDecisions:
+    def test_admits_under_limits(self):
+        decision = make().decide(queue_depth=0, client_load=0, workers=2)
+        assert decision.admitted
+
+    def test_queue_full_is_429_with_retry_after(self):
+        decision = make().decide(queue_depth=4, client_load=0, workers=2)
+        assert not decision.admitted
+        assert decision.status == 429
+        assert decision.reason == "queue-full"
+        assert decision.retry_after_s >= 1
+
+    def test_client_cap_is_429(self):
+        decision = make().decide(queue_depth=1, client_load=2, workers=2)
+        assert decision.status == 429
+        assert decision.reason == "client-cap"
+
+    def test_draining_is_503_without_retry_after(self):
+        decision = make().decide(
+            queue_depth=0, client_load=0, workers=2, draining=True
+        )
+        assert decision.status == 503
+        assert decision.reason == "draining"
+        assert decision.retry_after_s is None
+
+    def test_breaker_open_is_503_with_cooldown(self):
+        decision = make().decide(
+            queue_depth=0, client_load=0, workers=2,
+            breaker_open=True, breaker_retry_s=12.4,
+        )
+        assert decision.status == 503
+        assert decision.reason == "breaker-open"
+        assert decision.retry_after_s == 12
+
+    def test_drain_beats_breaker(self):
+        decision = make().decide(
+            queue_depth=9, client_load=9, workers=2,
+            draining=True, breaker_open=True,
+        )
+        assert decision.reason == "draining"
+
+
+class TestRetryAfterEstimator:
+    def test_default_without_samples(self):
+        assert make().retry_after_s(10, 2) == 5
+
+    def test_scales_with_depth_and_service_time(self):
+        ctl = make()
+        for _ in range(4):
+            ctl.observe_service_time(2.0)
+        # 6 deep, 2 workers, 2s each → ~6s
+        assert ctl.retry_after_s(6, 2) == 6
+
+    def test_clamped_to_sane_range(self):
+        ctl = make()
+        ctl.observe_service_time(1000.0)
+        assert ctl.retry_after_s(100, 1) == 300
+        ctl2 = make()
+        ctl2.observe_service_time(0.001)
+        assert ctl2.retry_after_s(1, 8) == 1
+
+
+class TestHighWater:
+    def test_high_water_below_max(self):
+        ctl = AdmissionController(max_queue=10)
+        assert ctl.high_water == 8
+        assert AdmissionController(max_queue=1).high_water == 1

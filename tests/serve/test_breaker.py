@@ -1,0 +1,95 @@
+"""Circuit breaker: closed → open → half-open with an injected clock."""
+
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 1000.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCircuitBreaker:
+    def make(self, **kw):
+        clock = FakeClock()
+        kw.setdefault("threshold", 3)
+        kw.setdefault("cooldown_s", 30.0)
+        return CircuitBreaker(now=clock, **kw), clock
+
+    def test_closed_allows(self):
+        breaker, _ = self.make()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_cooldown_admits_one_probe(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.t += 31.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else still rejected
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.t += 31.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.t += 31.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.retry_after_s() > 29.0
+
+    def test_retry_after_counts_down(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after_s() == 30.0
+        clock.t += 10.0
+        assert breaker.retry_after_s() == 20.0
+
+
+class TestBreakerBoard:
+    def test_per_benchmark_isolation(self):
+        clock = FakeClock()
+        board = BreakerBoard(threshold=2, now=clock)
+        board.record_failure("MemAlign")
+        board.record_failure("MemAlign")
+        assert not board.allow("MemAlign")
+        assert board.allow("CoMem")
+        assert board.states() == {"MemAlign": "open"}
+
+    def test_none_benchmark_always_allowed(self):
+        board = BreakerBoard(threshold=1)
+        board.record_failure(None)     # no-op
+        assert board.allow(None)

@@ -1,0 +1,139 @@
+"""DurableQueue: accepted means persisted; idempotent resubmission."""
+
+import json
+
+import pytest
+
+from repro.serve.queue import DurableQueue
+from repro.serve.request import parse_request
+
+
+def sweep_request(values=(4096, 8192), **over):
+    doc = {"kind": "sweep", "benchmark": "MemAlign", "values": list(values)}
+    doc.update(over)
+    return parse_request(doc)
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    q = DurableQueue(tmp_path / "data")
+    yield q
+    q.close()
+
+
+class TestSubmit:
+    def test_submit_persists_before_returning(self, queue):
+        entry, dup = queue.submit(sweep_request())
+        assert not dup
+        state = queue.data_dir / "requests" / f"{entry.id}.json"
+        assert state.exists()
+        doc = json.loads(state.read_text())
+        assert doc["state"] == "queued"
+        assert doc["fingerprint"] == entry.request.fingerprint
+        intake = (queue.data_dir / "intake.ndjson").read_text().splitlines()
+        assert any(entry.id in line for line in intake)
+
+    def test_duplicate_maps_to_original(self, queue):
+        first, _ = queue.submit(sweep_request())
+        second, dup = queue.submit(sweep_request())
+        assert dup
+        assert second.id == first.id
+        assert queue.depth() == 1  # not double-enqueued
+
+    def test_distinct_requests_distinct_entries(self, queue):
+        a, _ = queue.submit(sweep_request())
+        b, _ = queue.submit(sweep_request(values=[1024]))
+        assert a.id != b.id
+        assert queue.depth() == 2
+
+    def test_failed_duplicate_rearms(self, queue):
+        entry, _ = queue.submit(sweep_request())
+        claimed = queue.claim("w0")
+        queue.fail(claimed, "boom")
+        assert entry.state == "failed"
+        again, dup = queue.submit(sweep_request())
+        assert dup
+        assert again.id == entry.id
+        assert again.state == "queued"
+        assert queue.depth() == 1
+
+    def test_done_duplicate_stays_done(self, queue):
+        queue.submit(sweep_request())
+        claimed = queue.claim("w0")
+        queue.complete(claimed, claimed.request.fingerprint)
+        again, dup = queue.submit(sweep_request())
+        assert dup
+        assert again.state == "done"
+        assert queue.depth() == 0
+
+
+class TestClaimAndTransitions:
+    def test_claim_is_fifo_and_leases(self, queue):
+        a, _ = queue.submit(sweep_request())
+        queue.submit(sweep_request(values=[1024]))
+        claimed = queue.claim("w0")
+        assert claimed.id == a.id
+        assert claimed.state == "running"
+        assert claimed.attempts == 1
+        assert queue.leases.read(claimed.id) is not None
+
+    def test_complete_releases_lease_and_persists(self, queue):
+        queue.submit(sweep_request())
+        claimed = queue.claim("w0")
+        queue.complete(claimed, "fp123")
+        assert claimed.state == "done"
+        assert claimed.result_fingerprint == "fp123"
+        assert queue.leases.read(claimed.id) is None
+        doc = json.loads(
+            (queue.data_dir / "requests" / f"{claimed.id}.json").read_text()
+        )
+        assert doc["state"] == "done"
+        assert doc["result_fingerprint"] == "fp123"
+
+    def test_expire_is_terminal_with_error(self, queue):
+        queue.submit(sweep_request())
+        claimed = queue.claim("w0")
+        queue.expire(claimed, "deadline of 10ms expired")
+        assert claimed.state == "expired"
+        assert "deadline" in claimed.error
+
+    def test_requeue_returns_to_pending(self, queue):
+        queue.submit(sweep_request())
+        claimed = queue.claim("w0")
+        queue.requeue(claimed)
+        assert claimed.state == "queued"
+        assert queue.depth() == 1
+        assert queue.leases.read(claimed.id) is None
+
+    def test_claim_timeout_returns_none(self, queue):
+        assert queue.claim("w0", timeout=0.01) is None
+
+
+class TestDurability:
+    def test_torn_intake_tail_tolerated(self, queue):
+        entry, _ = queue.submit(sweep_request())
+        path = queue.data_dir / "intake.ndjson"
+        with path.open("a") as fh:
+            fh.write('{"id": "torn-req", "seq"')  # crash mid-append
+        lines = DurableQueue._read_intake(path)
+        assert [line["id"] for line in lines] == [entry.id]
+
+    def test_result_roundtrip(self, queue):
+        text = '{"schema": "repro-prof-bench/1"}\n'
+        queue.put_result("abc123", text)
+        assert queue.get_result("abc123") == text.encode()
+        assert queue.get_result("missing") is None
+
+
+class TestAccounting:
+    def test_counts_and_client_load(self, queue):
+        queue.submit(sweep_request())
+        queue.submit(sweep_request(values=[1024]))
+        claimed = queue.claim("w0")
+        counts = queue.counts()
+        assert counts["running"] == 1
+        assert counts["queued"] == 1
+        assert queue.inflight() == 1
+        assert queue.client_load("anon") == 2
+        queue.complete(claimed, "fp")
+        assert queue.client_load("anon") == 1

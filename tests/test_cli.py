@@ -952,3 +952,91 @@ class TestObsCLI:
         ]) == 0
         out = capsys.readouterr().out
         assert "pool-quarantine.json" in out and "reason=quarantine" in out
+
+
+class TestCacheGCCommand:
+    def make_entry(self, root, key, *, age_days=0.0, size=64):
+        import os
+        import time
+
+        shard = root / key[:2]
+        shard.mkdir(parents=True, exist_ok=True)
+        path = shard / f"{key}.json"
+        path.write_bytes(b"x" * size)
+        stamp = time.time() - age_days * 86400.0
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_gc_removes_old_entries(self, capsys, tmp_path):
+        old = self.make_entry(tmp_path, "aa" + "0" * 62, age_days=30)
+        kept = self.make_entry(tmp_path, "bb" + "0" * 62)
+        rc = main([
+            "cache", "gc", "--older-than", "7",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entr(ies)" in out
+        assert "1 by age" in out
+        assert not old.exists()
+        assert kept.exists()
+
+    def test_gc_dry_run_keeps_files(self, capsys, tmp_path):
+        old = self.make_entry(tmp_path, "aa" + "0" * 62, age_days=30)
+        rc = main([
+            "cache", "gc", "--older-than", "7", "--dry-run",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert old.exists()
+
+    def test_gc_max_bytes_with_suffix(self, capsys, tmp_path):
+        self.make_entry(tmp_path, "aa" + "0" * 62, age_days=2, size=1024)
+        self.make_entry(tmp_path, "bb" + "0" * 62, age_days=1, size=1024)
+        rc = main([
+            "cache", "gc", "--max-bytes", "1K",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "1 by size" in capsys.readouterr().out
+
+    def test_gc_bad_size_is_an_error(self, capsys, tmp_path):
+        rc = main([
+            "cache", "gc", "--max-bytes", "lots",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert rc == 2
+        assert "cannot parse size" in capsys.readouterr().err
+
+    def test_parse_size_suffixes(self):
+        from repro.__main__ import _parse_size
+
+        assert _parse_size("4096") == 4096
+        assert _parse_size("64K") == 64 << 10
+        assert _parse_size("1.5M") == int(1.5 * (1 << 20))
+        assert _parse_size("2GiB") == 2 << 30
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve", "--port", "9000", "--data-dir", "dd",
+            "--workers", "3", "--max-queue", "16",
+            "--max-per-client", "2", "--breaker-threshold", "5",
+            "--breaker-cooldown", "60", "--drain-grace", "10",
+        ])
+        assert args.port == 9000
+        assert args.data_dir == "dd"
+        assert args.workers == 3
+        assert args.max_queue == 16
+        assert args.breaker_threshold == 5
+        assert args.drain_grace == 10.0
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8321
+        assert args.host == "127.0.0.1"
+        assert args.data_dir == ".repro-serve"
+        assert args.workers == 2
